@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench paper paper-small examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# One benchmark per reproduced table/figure plus microbenchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table/figure at full scale (CSV in results/).
+paper:
+	go run ./cmd/paperbench -out results
+
+paper-small:
+	go run ./cmd/paperbench -scale small -out results
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/ctathrottling
+	go run ./examples/blockpairing
+	go run ./examples/concurrentkernels
+	go run ./examples/timeline
+
+clean:
+	rm -rf results timeline_*.csv

@@ -1,0 +1,112 @@
+package gpusched_test
+
+// One benchmark per reproduced table/figure (BenchmarkTable*, BenchmarkFig*)
+// plus microbenchmarks of the simulator's hot paths. The figure benchmarks
+// run the same experiment code as cmd/paperbench at the "small" scale and
+// report the experiment's headline number as a custom metric; run
+// cmd/paperbench for the full-scale paper numbers.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig5 -benchtime=1x
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+
+	"gpusched"
+	"gpusched/internal/harness"
+	"gpusched/internal/workloads"
+)
+
+// sharedHarness memoizes simulation runs across benchmarks so the suite is
+// dominated by distinct experiments, not repeats.
+var (
+	harnessOnce sync.Once
+	hshared     *harness.Harness
+)
+
+func benchHarness() *harness.Harness {
+	harnessOnce.Do(func() {
+		hshared = harness.New(harness.Options{Scale: workloads.ScaleSmall})
+	})
+	return hshared
+}
+
+// geomeanRow extracts the last row's numeric cell (the geomean the figure
+// reports) when present.
+func reportLastRowMetric(b *testing.B, t *harness.Table, col int, name string) {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	if col >= len(last) {
+		return
+	}
+	if v, err := strconv.ParseFloat(last[col], 64); err == nil {
+		b.ReportMetric(v, name)
+	}
+}
+
+func runExperiment(b *testing.B, id string, metricCol int, metricName string) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var table *harness.Table
+	for i := 0; i < b.N; i++ {
+		table = e.Run(benchHarness())
+	}
+	table.Render(io.Discard)
+	if metricCol >= 0 {
+		reportLastRowMetric(b, table, metricCol, metricName)
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B)          { runExperiment(b, "table1", -1, "") }
+func BenchmarkTable2Characteristics(b *testing.B) { runExperiment(b, "table2", -1, "") }
+func BenchmarkFig3CTASweep(b *testing.B)          { runExperiment(b, "fig3", -1, "") }
+func BenchmarkFig4IssueShare(b *testing.B)        { runExperiment(b, "fig4", -1, "") }
+func BenchmarkFig5LCS(b *testing.B)               { runExperiment(b, "fig5", 2, "geomean-speedup") }
+func BenchmarkFig6LCSMemory(b *testing.B)         { runExperiment(b, "fig6", -1, "") }
+func BenchmarkFig7LCSChoice(b *testing.B)         { runExperiment(b, "fig7", -1, "") }
+func BenchmarkFig8BCS(b *testing.B)               { runExperiment(b, "fig8", 1, "geomean-speedup") }
+func BenchmarkFig9BAWS(b *testing.B)              { runExperiment(b, "fig9", 2, "geomean-speedup") }
+func BenchmarkFig10MCKE(b *testing.B)             { runExperiment(b, "fig10", 4, "geomean-throughput") }
+func BenchmarkFig11Sensitivity(b *testing.B)      { runExperiment(b, "fig11", -1, "") }
+func BenchmarkFig12WarpSched(b *testing.B)        { runExperiment(b, "fig12", 3, "geomean-speedup") }
+func BenchmarkFig13PriorWork(b *testing.B)        { runExperiment(b, "fig13", 3, "geomean-speedup") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// cycles per wall second on a mid-weight workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := gpusched.WorkloadByName("stencil")
+	cfg := gpusched.DefaultConfig()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res := gpusched.MustRun(cfg, gpusched.Baseline(), w.Kernel(gpusched.SizeTiny))
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkSchedulerOverheads compares the dispatch policies' wall cost on
+// identical work (they simulate different schedules, so this is a
+// same-order sanity check, not a microbenchmark).
+func BenchmarkSchedulerOverheads(b *testing.B) {
+	w, _ := gpusched.WorkloadByName("vadd")
+	cfg := gpusched.DefaultConfig()
+	for _, sched := range []gpusched.Scheduler{
+		gpusched.Baseline(), gpusched.LCS(), gpusched.AdaptiveLCS(), gpusched.BCS(2),
+	} {
+		b.Run(sched.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gpusched.MustRun(cfg, sched, w.Kernel(gpusched.SizeTiny))
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Command ctasweep sweeps the per-SM CTA limit for one or more workloads
+// and prints the IPC curve — the quickest way to see the paper's motivating
+// observation that maximal occupancy is not optimal.
+//
+//	ctasweep spmv conv2d
+//	ctasweep -size full -warp gto stencil
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpusched"
+)
+
+func main() {
+	var (
+		sizeStr = flag.String("size", "small", "problem size: tiny | small | full")
+		warpStr = flag.String("warp", "gto", "warp scheduler: lrr | gto | baws")
+		cores   = flag.Int("cores", 15, "SM count")
+	)
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ctasweep [flags] workload...")
+		os.Exit(2)
+	}
+
+	cfg := gpusched.DefaultConfig()
+	cfg.Cores = *cores
+	switch *warpStr {
+	case "lrr":
+		cfg.WarpPolicy = gpusched.WarpLRR
+	case "baws":
+		cfg.WarpPolicy = gpusched.WarpBAWS
+	default:
+		cfg.WarpPolicy = gpusched.WarpGTO
+	}
+	size := gpusched.SizeSmall
+	switch *sizeStr {
+	case "tiny":
+		size = gpusched.SizeTiny
+	case "full":
+		size = gpusched.SizeFull
+	}
+
+	for _, name := range names {
+		w, ok := gpusched.WorkloadByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("%s (%s)\n", w.Name, w.ModeledOn)
+		fmt.Printf("  %-6s %-10s %-8s %-8s %-9s %s\n", "limit", "cycles", "IPC", "L1 hit", "DRAM q", "bar")
+		type point struct {
+			lim    int
+			cycles uint64
+			ipc    float64
+		}
+		var pts []point
+		best := point{}
+		for lim := 1; lim <= 8; lim++ {
+			res, err := gpusched.Run(cfg, gpusched.StaticLimit(lim), w.Kernel(size))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			p := point{lim, res.Cycles, res.IPC}
+			pts = append(pts, p)
+			if best.cycles == 0 || p.cycles < best.cycles {
+				best = p
+			}
+			bar := strings.Repeat("#", int(res.IPC*4+0.5))
+			fmt.Printf("  %-6d %-10d %-8.2f %-8s %-9.0f %s\n",
+				lim, res.Cycles, res.IPC,
+				fmt.Sprintf("%.1f%%", res.L1HitRate*100), res.AvgDRAMQueue, bar)
+			if lim > 1 && pts[len(pts)-1].cycles == pts[len(pts)-2].cycles {
+				fmt.Printf("  (occupancy limit reached at %d CTAs/SM)\n", lim-1)
+				break
+			}
+		}
+		lastIPC := pts[len(pts)-1].ipc
+		fmt.Printf("  best: %d CTAs/SM at IPC %.2f (%.1f%% over max occupancy)\n\n",
+			best.lim, best.ipc, (best.ipc/lastIPC-1)*100)
+	}
+}

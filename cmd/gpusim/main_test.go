@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseSched(t *testing.T) {
+	ok := []struct {
+		in   string
+		name string
+	}{
+		{"baseline", "baseline"},
+		{"lcs", "lcs"},
+		{"adaptive", "lcs-adaptive"},
+		{"bcs", "bcs"},
+		{"bcs:4", "bcs"},
+		{"static:3", "static-3"},
+		{"sequential", "sequential"},
+	}
+	for _, c := range ok {
+		s, err := parseSched(c.in)
+		if err != nil {
+			t.Errorf("parseSched(%q): %v", c.in, err)
+			continue
+		}
+		if s.Name() != c.name {
+			t.Errorf("parseSched(%q).Name() = %q, want %q", c.in, s.Name(), c.name)
+		}
+	}
+	for _, bad := range []string{"", "nope", "static", "static:x", "bcs:y"} {
+		if _, err := parseSched(bad); err == nil {
+			t.Errorf("parseSched(%q) accepted", bad)
+		}
+	}
+}

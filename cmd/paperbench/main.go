@@ -1,0 +1,88 @@
+// Command paperbench regenerates every table and figure of the paper
+// reproduction and writes them as text (stdout) and CSV (results/).
+//
+//	paperbench                  # all experiments, full scale (minutes)
+//	paperbench -scale small     # quicker, smaller grids
+//	paperbench -exp fig5,fig8   # a subset
+//	paperbench -list            # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gpusched/internal/harness"
+	"gpusched/internal/workloads"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
+		scale    = flag.String("scale", "full", "problem scale: small | full")
+		outDir   = flag.String("out", "results", "directory for CSV output ('' = none)")
+		cores    = flag.Int("cores", 0, "override SM count (0 = default 15)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		progress = flag.Bool("v", false, "log each simulation run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opt := harness.Options{Scale: workloads.ScaleFull, Cores: *cores}
+	switch *scale {
+	case "small":
+		opt.Scale = workloads.ScaleSmall
+	case "full":
+		opt.Scale = workloads.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small|full)\n", *scale)
+		os.Exit(2)
+	}
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+
+	var selected []harness.Experiment
+	if *expFlag == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	h := harness.New(opt)
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(h)
+		table.Render(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, e.ID+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			table.CSV(f)
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module gpusched
+
+go 1.22

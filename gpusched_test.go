@@ -1,0 +1,216 @@
+package gpusched_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpusched"
+)
+
+func tinyConfig() gpusched.Config {
+	cfg := gpusched.DefaultConfig()
+	cfg.Cores = 4
+	return cfg
+}
+
+func TestWorkloadCatalogPublic(t *testing.T) {
+	ws := gpusched.Workloads()
+	if len(ws) != 19 {
+		t.Fatalf("got %d workloads, want 19", len(ws))
+	}
+	for _, w := range ws {
+		if w.Name == "" || w.Class == "" || w.ModeledOn == "" {
+			t.Errorf("incomplete workload %+v", w)
+		}
+		k := w.Kernel(gpusched.SizeTiny)
+		if k.CTAs() <= 0 || k.ThreadsPerCTA()%32 != 0 {
+			t.Errorf("%s: bad kernel shape %d x %d", w.Name, k.CTAs(), k.ThreadsPerCTA())
+		}
+	}
+	if _, ok := gpusched.WorkloadByName("spmv"); !ok {
+		t.Error("WorkloadByName(spmv) failed")
+	}
+	if _, ok := gpusched.WorkloadByName("missing"); ok {
+		t.Error("WorkloadByName(missing) succeeded")
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	w, _ := gpusched.WorkloadByName("vadd")
+	res, err := gpusched.Run(tinyConfig(), gpusched.Baseline(), w.Kernel(gpusched.SizeTiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if len(res.Kernels) != 1 || res.Kernels[0].Name != "vadd" {
+		t.Fatalf("kernel stats %+v", res.Kernels)
+	}
+	if res.CTALimits != nil {
+		t.Error("baseline reported CTA limits")
+	}
+}
+
+func TestRunLCSExposesLimits(t *testing.T) {
+	w, _ := gpusched.WorkloadByName("spmv")
+	for _, sched := range []gpusched.Scheduler{gpusched.LCS(), gpusched.AdaptiveLCS()} {
+		res, err := gpusched.Run(tinyConfig(), sched, w.Kernel(gpusched.SizeTiny))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CTALimits == nil {
+			t.Errorf("%s: no CTA limits exposed", sched.Name())
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	cases := map[string]gpusched.Scheduler{
+		"baseline":     gpusched.Baseline(),
+		"lcs":          gpusched.LCS(),
+		"lcs-adaptive": gpusched.AdaptiveLCS(),
+		"bcs":          gpusched.BCS(2),
+		"static-3":     gpusched.StaticLimit(3),
+		"sequential":   gpusched.Sequential(),
+		"spatial":      gpusched.SpatialCKE(0),
+		"mixed":        gpusched.MixedCKE(2),
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("Name = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestWarpPolicyString(t *testing.T) {
+	for p, want := range map[gpusched.WarpPolicy]string{
+		gpusched.WarpLRR:  "lrr",
+		gpusched.WarpGTO:  "gto",
+		gpusched.WarpBAWS: "baws",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMultiKernelRun(t *testing.T) {
+	a, _ := gpusched.WorkloadByName("vadd")
+	b, _ := gpusched.WorkloadByName("kmeans")
+	res, err := gpusched.Run(tinyConfig(), gpusched.Sequential(),
+		a.Kernel(gpusched.SizeTiny), b.Kernel(gpusched.SizeTiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 2 {
+		t.Fatalf("got %d kernel records", len(res.Kernels))
+	}
+	if res.Kernels[1].LaunchCycle < res.Kernels[0].DoneCycle {
+		t.Error("sequential scheduler overlapped kernels")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	base := gpusched.Result{Cycles: 2000}
+	faster := gpusched.Result{Cycles: 1000}
+	if got := faster.Speedup(base); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+}
+
+func TestKernelBuilder(t *testing.T) {
+	k, err := gpusched.NewKernelBuilder("custom", 8, 64).
+		Regs(20).
+		SharedMem(1024).
+		Program(func(ctaID, warp int, p *gpusched.ProgramBuilder) {
+			p.LoadGlobal(1, uint32(ctaID*256+warp*128))
+			p.FAdd(2, 1, 2)
+			p.Barrier()
+			p.LoadShared(3, 2)
+			p.SFU(4, 3)
+			p.StoreGlobal(4, uint32(1<<20+ctaID*256))
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() != "custom" || k.CTAs() != 8 || k.ThreadsPerCTA() != 64 {
+		t.Fatalf("kernel shape %s %d %d", k.Name(), k.CTAs(), k.ThreadsPerCTA())
+	}
+	res, err := gpusched.Run(tinyConfig(), gpusched.Baseline(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 CTAs x 2 warps x 7 instructions (6 + exit).
+	if res.InstrIssued != 8*2*7 {
+		t.Fatalf("issued %d, want %d", res.InstrIssued, 8*2*7)
+	}
+}
+
+func TestKernelBuilderValidation(t *testing.T) {
+	if _, err := gpusched.NewKernelBuilder("bad", 4, 33).Build(); err == nil {
+		t.Error("ragged block accepted")
+	}
+	if _, err := gpusched.NewKernelBuilder("bad", 0, 64).Build(); err == nil {
+		t.Error("empty grid accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid kernel")
+		}
+	}()
+	gpusched.NewKernelBuilder("bad", 4, 33).MustBuild()
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	w, _ := gpusched.WorkloadByName("vadd")
+	cfg := tinyConfig()
+	cfg.Cores = -1
+	if _, err := gpusched.Run(cfg, gpusched.Baseline(), w.Kernel(gpusched.SizeTiny)); err == nil {
+		// Cores<=0 falls back to default; ensure at least no crash and a
+		// sane run. (Negative cores are treated as "use default".)
+		t.Log("negative cores fell back to default")
+	}
+}
+
+func TestCustomHardwareConfig(t *testing.T) {
+	w, _ := gpusched.WorkloadByName("spmv")
+	run := func(l1Bytes int) gpusched.Result {
+		smCfg := gpusched.DefaultSMConfig()
+		memCfg := gpusched.DefaultMemConfig()
+		memCfg.L1Bytes = l1Bytes
+		cfg := tinyConfig()
+		cfg.SM = &smCfg
+		cfg.Mem = &memCfg
+		res, err := gpusched.Run(cfg, gpusched.Baseline(), w.Kernel(gpusched.SizeTiny))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	big := run(256 * 1024) // every resident gather window fits
+	small := run(4 * 1024) // nothing fits
+	if big.L1HitRate <= small.L1HitRate {
+		t.Errorf("64x larger L1 did not improve hit rate: %.3f vs %.3f",
+			big.L1HitRate, small.L1HitRate)
+	}
+}
+
+func TestWorkloadClassesCovered(t *testing.T) {
+	classes := map[string]bool{}
+	for _, w := range gpusched.Workloads() {
+		classes[w.Class] = true
+	}
+	for _, c := range []string{"compute", "stream", "cache", "locality", "irregular", "sync"} {
+		if !classes[c] {
+			t.Errorf("class %s missing from public catalog", c)
+		}
+	}
+}
+
+func TestStaticLimitNameEncodesLimit(t *testing.T) {
+	if !strings.HasPrefix(gpusched.StaticLimit(5).Name(), "static-5") {
+		t.Error("static limit name lost its parameter")
+	}
+}

@@ -1,0 +1,87 @@
+// Package core implements the paper's contribution: thread-block (CTA)
+// scheduling policies. A Dispatcher decides, cycle by cycle, which CTAs of
+// which kernels are placed on which SMs:
+//
+//   - RoundRobin — the baseline: keep every SM at its occupancy-maximal CTA
+//     count, assigning CTAs in grid order round-robin across cores.
+//   - LCS — lazy CTA scheduling: start occupancy-maximal under a greedy
+//     (GTO) warp scheduler, sample per-CTA issue counts until the first CTA
+//     on a core completes, derive the useful CTA count from the issue
+//     histogram, and lazily stop refilling beyond it.
+//   - BCS — block CTA scheduling: dispatch gangs of consecutive CTAs to the
+//     same SM so inter-CTA locality lands in one L1 (paired with the BAWS
+//     warp scheduler in internal/sm).
+//   - Spatial / Mixed concurrent kernel execution — two kernels share the
+//     GPU by partitioning cores (spatial) or by co-residing on every core
+//     with LCS-derived per-kernel limits (mixed, the paper's proposal).
+package core
+
+import (
+	"gpusched/internal/kernel"
+	"gpusched/internal/sm"
+)
+
+// KernelState is one launched kernel's dispatch bookkeeping, owned by the
+// GPU front-end and manipulated by dispatchers.
+type KernelState struct {
+	// Spec is the launched kernel.
+	Spec *kernel.Spec
+	// Idx is the kernel's index in the launch table (stats bucket and
+	// address-space id).
+	Idx int
+	// AddrBase is the kernel's global address-space offset.
+	AddrBase uint64
+	// NextCTA is the next undispatched linear CTA id.
+	NextCTA int
+	// Completed counts retired CTAs.
+	Completed int
+	// LaunchCycle is when dispatch began; DoneCycle when the last CTA
+	// retired.
+	LaunchCycle uint64
+	DoneCycle   uint64
+	launched    bool
+}
+
+// Exhausted reports whether every CTA has been dispatched.
+func (k *KernelState) Exhausted() bool { return k.NextCTA >= k.Spec.NumCTAs() }
+
+// Done reports whether every CTA has retired.
+func (k *KernelState) Done() bool { return k.Completed >= k.Spec.NumCTAs() }
+
+// Remaining returns the number of undispatched CTAs.
+func (k *KernelState) Remaining() int { return k.Spec.NumCTAs() - k.NextCTA }
+
+// Machine is the view a Dispatcher has of the GPU.
+type Machine interface {
+	// Now returns the current cycle.
+	Now() uint64
+	// NumCores returns the SM count.
+	NumCores() int
+	// Core returns SM i.
+	Core(i int) *sm.SM
+	// Kernels returns the launch table in launch order.
+	Kernels() []*KernelState
+}
+
+// Dispatcher is a CTA scheduling policy.
+type Dispatcher interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Tick runs once per cycle before the cores tick and may place CTAs.
+	Tick(m Machine)
+	// OnCTAComplete is called when a CTA retires, after the owning
+	// KernelState counters were updated.
+	OnCTAComplete(m Machine, coreID int, cta *sm.CTA)
+}
+
+// place dispatches kernel ks's next CTA onto core c with the given BCS gang
+// identity, stamping launch bookkeeping.
+func place(m Machine, ks *KernelState, c *sm.SM, blockKey uint64, indexInBlock int) *sm.CTA {
+	if !ks.launched {
+		ks.launched = true
+		ks.LaunchCycle = m.Now()
+	}
+	cta := c.AddCTA(ks.Spec, ks.Idx, ks.NextCTA, ks.AddrBase, blockKey, indexInBlock, m.Now())
+	ks.NextCTA++
+	return cta
+}

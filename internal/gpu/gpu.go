@@ -1,0 +1,235 @@
+// Package gpu wires the simulator together: an array of SMs, the shared
+// memory system, a launch table of kernels, and a CTA-scheduling Dispatcher
+// from internal/core. It owns the cycle loop and produces the Result record
+// the experiment harness consumes.
+package gpu
+
+import (
+	"fmt"
+
+	"gpusched/internal/core"
+	"gpusched/internal/kernel"
+	"gpusched/internal/mem"
+	"gpusched/internal/sm"
+	"gpusched/internal/stats"
+)
+
+// Config is the whole-GPU configuration.
+type Config struct {
+	// NumCores is the SM count.
+	NumCores int
+	// Core is the per-SM configuration (copied per SM).
+	Core sm.Config
+	// Mem is the shared memory-system configuration.
+	Mem mem.Config
+	// MaxCycles aborts runaway simulations; Result.TimedOut is set.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the Fermi-class (GTX480 ballpark) GPU used by the
+// paper-reproduction experiments: 15 SMs, 2 schedulers each, 6 memory
+// partitions.
+func DefaultConfig() Config {
+	return Config{
+		NumCores:  15,
+		Core:      sm.DefaultConfig(),
+		Mem:       mem.DefaultConfig(),
+		MaxCycles: 20_000_000,
+	}
+}
+
+// addrSpaceStride separates kernel global address spaces: lane addresses
+// are 32-bit offsets, so 8 GiB spacing guarantees no aliasing while keeping
+// cache index bits undisturbed.
+const addrSpaceStride = uint64(1) << 33
+
+// Result summarizes one simulation.
+type Result struct {
+	// Cycles is the total simulated time (launch of first kernel to
+	// retirement of the last CTA).
+	Cycles uint64
+	// TimedOut is set when MaxCycles aborted the run.
+	TimedOut bool
+	// InstrIssued and ThreadInstr aggregate issue counts over all cores.
+	InstrIssued uint64
+	ThreadInstr uint64
+	// IPC is InstrIssued / Cycles.
+	IPC float64
+	// Core sums the per-SM pipeline counters.
+	Core stats.Core
+	// L1 sums the per-SM L1 counters; L2 and DRAM aggregate the shared
+	// hierarchy.
+	L1   stats.Cache
+	L2   stats.Cache
+	DRAM stats.DRAM
+	// AvgMemLatency is the mean load round-trip in cycles (issue to last
+	// transaction), averaged over cores weighted by load count.
+	AvgMemLatency float64
+	// Kernels holds per-kernel makespans and issue counts, launch order.
+	Kernels []stats.Kernel
+}
+
+// GPU is one simulated device with a fixed launch table.
+type GPU struct {
+	cfg        Config
+	cores      []*sm.SM
+	memsys     *mem.System
+	dispatcher core.Dispatcher
+	kernels    []*core.KernelState
+	now        uint64
+	doneCount  int
+	// observer, when set, sees every CTA retirement (experiment probes).
+	observer func(coreID int, cta *sm.CTA, now uint64)
+	coreCfgs []sm.Config
+	// epochFn, when set, runs every epochEvery cycles (tracing hooks).
+	epochFn    func(now uint64)
+	epochEvery uint64
+}
+
+// New builds a GPU running specs (in launch order) under dispatcher d.
+// Every spec must validate and fit on an SM.
+func New(cfg Config, d core.Dispatcher, specs ...*kernel.Spec) (*GPU, error) {
+	if cfg.NumCores <= 0 {
+		return nil, fmt.Errorf("gpu: NumCores = %d", cfg.NumCores)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("gpu: no kernels")
+	}
+	if cfg.NumCores > 255 {
+		return nil, fmt.Errorf("gpu: NumCores %d exceeds response-routing width", cfg.NumCores)
+	}
+	g := &GPU{cfg: cfg, dispatcher: d}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		if n, binding := cfg.Core.Limits.MaxResident(spec); n == 0 {
+			return nil, fmt.Errorf("gpu: kernel %s does not fit one SM (%s)", spec.Name, binding)
+		}
+		g.kernels = append(g.kernels, &core.KernelState{
+			Spec:     spec,
+			Idx:      i,
+			AddrBase: uint64(i+1) * addrSpaceStride,
+		})
+	}
+	g.memsys = mem.NewSystem(&cfg.Mem, cfg.NumCores)
+	g.cores = make([]*sm.SM, cfg.NumCores)
+	g.coreCfgs = make([]sm.Config, cfg.NumCores)
+	for i := range g.cores {
+		g.coreCfgs[i] = cfg.Core // per-SM copy: SetWarpPolicy is per core
+		g.cores[i] = sm.New(i, &g.coreCfgs[i], g.memsys, len(specs), g.onCTADone)
+	}
+	return g, nil
+}
+
+// SetObserver registers an experiment probe called on every CTA retirement
+// (before the dispatcher sees it). Must be set before Run.
+func (g *GPU) SetObserver(fn func(coreID int, cta *sm.CTA, now uint64)) {
+	g.observer = fn
+}
+
+// SetEpochHook registers fn to run every `every` cycles during Run (cycle 0
+// included) — the sampling hook the timeline tracer uses. Must be set
+// before Run.
+func (g *GPU) SetEpochHook(every uint64, fn func(now uint64)) {
+	if every == 0 {
+		every = 1024
+	}
+	g.epochEvery = every
+	g.epochFn = fn
+}
+
+// MemSystem exposes the shared memory hierarchy (tracing and tests).
+func (g *GPU) MemSystem() *mem.System { return g.memsys }
+
+// Now implements core.Machine.
+func (g *GPU) Now() uint64 { return g.now }
+
+// NumCores implements core.Machine.
+func (g *GPU) NumCores() int { return len(g.cores) }
+
+// Core implements core.Machine.
+func (g *GPU) Core(i int) *sm.SM { return g.cores[i] }
+
+// Kernels implements core.Machine.
+func (g *GPU) Kernels() []*core.KernelState { return g.kernels }
+
+func (g *GPU) onCTADone(coreID int, cta *sm.CTA) {
+	ks := g.kernels[cta.KernelIdx]
+	ks.Completed++
+	if ks.Done() {
+		ks.DoneCycle = g.now
+		g.doneCount++
+	}
+	if g.observer != nil {
+		g.observer(coreID, cta, g.now)
+	}
+	g.dispatcher.OnCTAComplete(g, coreID, cta)
+}
+
+// Run simulates to completion (or MaxCycles) and returns the result.
+// A GPU is single-shot: Run must be called once.
+func (g *GPU) Run() Result {
+	maxCycles := g.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 20_000_000
+	}
+	for g.doneCount < len(g.kernels) && g.now < maxCycles {
+		if g.epochFn != nil && g.now%g.epochEvery == 0 {
+			g.epochFn(g.now)
+		}
+		g.dispatcher.Tick(g)
+		for _, c := range g.cores {
+			c.Tick(g.now)
+		}
+		g.memsys.Tick(g.now)
+		g.now++
+	}
+	return g.collect()
+}
+
+func (g *GPU) collect() Result {
+	r := Result{
+		Cycles:   g.now,
+		TimedOut: g.doneCount < len(g.kernels),
+	}
+	var latSum, latN uint64
+	for _, c := range g.cores {
+		s := c.Stats
+		r.Core.ActiveCycles += s.ActiveCycles
+		r.Core.InstrIssued += s.InstrIssued
+		r.Core.ThreadInstr += s.ThreadInstr
+		r.Core.IssueStallCycles += s.IssueStallCycles
+		r.Core.StallScoreboard += s.StallScoreboard
+		r.Core.StallLDSTFull += s.StallLDSTFull
+		r.Core.StallBarrier += s.StallBarrier
+		r.Core.CTAsCompleted += s.CTAsCompleted
+		r.Core.SharedAccesses += s.SharedAccesses
+		r.Core.SharedConflictPasses += s.SharedConflictPasses
+		r.L1.Add(c.L1Stats())
+		sum, n := c.MemLatencyRaw()
+		latSum += sum
+		latN += n
+	}
+	r.InstrIssued = r.Core.InstrIssued
+	r.ThreadInstr = r.Core.ThreadInstr
+	r.IPC = stats.IPC(r.InstrIssued, r.Cycles)
+	r.L2 = g.memsys.L2Stats()
+	r.DRAM = g.memsys.DRAMStats()
+	if latN > 0 {
+		r.AvgMemLatency = float64(latSum) / float64(latN)
+	}
+	for _, ks := range g.kernels {
+		k := stats.Kernel{
+			Name:        ks.Spec.Name,
+			LaunchCycle: ks.LaunchCycle,
+			DoneCycle:   ks.DoneCycle,
+			CTAs:        ks.Spec.NumCTAs(),
+		}
+		for _, c := range g.cores {
+			k.InstrIssued += c.KernelIssued[ks.Idx]
+		}
+		r.Kernels = append(r.Kernels, k)
+	}
+	return r
+}

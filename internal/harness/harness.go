@@ -1,0 +1,287 @@
+// Package harness regenerates the paper's tables and figures. Each
+// experiment is a function from Options to a Table; cmd/paperbench renders
+// them as aligned text and CSV, and bench_test.go wraps each as a Go
+// benchmark. Simulation results are memoized per harness so experiments
+// that share runs (the oracle sweep feeds three figures) pay for them once,
+// and independent runs execute on all cores.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpusched/internal/core"
+	"gpusched/internal/gpu"
+	"gpusched/internal/kernel"
+	"gpusched/internal/sm"
+	"gpusched/internal/workloads"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale selects the problem size (ScaleSmall for quick runs,
+	// ScaleFull for the paper experiments).
+	Scale workloads.Scale
+	// Cores overrides the SM count (0 = the 15-SM default).
+	Cores int
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// Table is one rendered experiment.
+type Table struct {
+	// ID is the experiment identifier ("fig5", "table2", ...).
+	ID string
+	// Title describes what the paper's counterpart shows.
+	Title string
+	// Headers and Rows are the tabular payload.
+	Headers []string
+	Rows    [][]string
+	// Notes carry interpretation (who wins, by how much) for
+	// EXPERIMENTS.md.
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	rows := append([][]string{t.Headers}, t.Rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Harness memoizes simulation runs across experiments.
+type Harness struct {
+	opt  Options
+	mu   sync.Mutex
+	memo map[string]runOut
+}
+
+// New builds a harness.
+func New(opt Options) *Harness {
+	return &Harness{opt: opt, memo: make(map[string]runOut)}
+}
+
+// runSpec is one simulation request.
+type runSpec struct {
+	// names are the workloads to launch, in order.
+	names []string
+	// sched encodes the CTA scheduler: "base", "lcs", "adaptive",
+	// "bcs:N", "static:N", "seq", "spatial", "mixed:N".
+	sched string
+	// policy is the warp scheduler.
+	policy sm.Policy
+	// l1Bytes optionally overrides the L1 capacity (sensitivity study).
+	l1Bytes int
+	// fcfs selects plain FCFS DRAM scheduling (sensitivity study).
+	fcfs bool
+}
+
+func (s runSpec) key() string {
+	return fmt.Sprintf("%s|%s|%v|%d|%v", strings.Join(s.names, "+"), s.sched, s.policy, s.l1Bytes, s.fcfs)
+}
+
+// runOut couples the simulation result with scheduler-internal state.
+type runOut struct {
+	res gpu.Result
+	// limits holds LCS-family per-core decisions (nil otherwise).
+	limits []int
+}
+
+func (h *Harness) dispatcher(sched string) core.Dispatcher {
+	parts := strings.SplitN(sched, ":", 2)
+	arg := 0
+	if len(parts) == 2 {
+		fmt.Sscanf(parts[1], "%d", &arg)
+	}
+	switch parts[0] {
+	case "lcs":
+		return core.NewLCS()
+	case "adaptive":
+		return core.NewAdaptiveLCS()
+	case "dyncta":
+		return core.NewDynCTA()
+	case "bcs":
+		b := core.NewBCS()
+		if arg > 0 {
+			b.BlockSize = arg
+		}
+		return b
+	case "static":
+		return core.NewLimited(arg)
+	case "seq":
+		return core.NewSequential()
+	case "spatial":
+		return core.NewSpatial()
+	case "mixed":
+		return core.NewMixed(arg)
+	default:
+		return core.NewRoundRobin()
+	}
+}
+
+// run executes (or recalls) one simulation.
+func (h *Harness) run(spec runSpec) runOut {
+	key := spec.key()
+	h.mu.Lock()
+	if out, ok := h.memo[key]; ok {
+		h.mu.Unlock()
+		return out
+	}
+	h.mu.Unlock()
+
+	cfg := gpu.DefaultConfig()
+	if h.opt.Cores > 0 {
+		cfg.NumCores = h.opt.Cores
+	}
+	cfg.Core.WarpPolicy = spec.policy
+	if spec.l1Bytes > 0 {
+		cfg.Mem.L1Bytes = spec.l1Bytes
+	}
+	cfg.Mem.DRAMSchedFCFS = spec.fcfs
+	d := h.dispatcher(spec.sched)
+	ks := h.buildKernels(spec.names)
+	g, err := gpu.New(cfg, d, ks...)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	res := g.Run()
+	if res.TimedOut {
+		panic(fmt.Sprintf("harness: %s timed out after %d cycles", key, res.Cycles))
+	}
+	out := runOut{res: res}
+	switch dd := d.(type) {
+	case *core.LCS:
+		out.limits = append([]int(nil), dd.Limits()...)
+	case *core.AdaptiveLCS:
+		out.limits = append([]int(nil), dd.Limits()...)
+	case *core.DynCTA:
+		out.limits = append([]int(nil), dd.Limits()...)
+	}
+	h.mu.Lock()
+	h.memo[key] = out
+	h.mu.Unlock()
+	if h.opt.Progress != nil {
+		fmt.Fprintf(h.opt.Progress, "ran %-40s %10d cycles\n", key, res.Cycles)
+	}
+	return out
+}
+
+// prefetch executes all missing specs concurrently.
+func (h *Harness) prefetch(specs []runSpec) {
+	workers := runtime.NumCPU()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan runSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				h.run(s)
+			}
+		}()
+	}
+	for _, s := range specs {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
+}
+
+func (h *Harness) buildKernels(names []string) []*kernel.Spec {
+	out := make([]*kernel.Spec, len(names))
+	for i, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			panic("harness: unknown workload " + n)
+		}
+		out[i] = w.Build(h.opt.Scale)
+	}
+	return out
+}
+
+// maxResident returns the occupancy-maximal CTAs/SM for a workload.
+func (h *Harness) maxResident(name string) int {
+	w, _ := workloads.ByName(name)
+	n, _ := sm.DefaultConfig().Limits.MaxResident(w.Build(h.opt.Scale))
+	return n
+}
+
+// lowQuartile returns the 25th-percentile positive limit (the conservative
+// consensus the mixed-CKE allocator uses).
+func lowQuartile(limits []int) int {
+	var vs []int
+	for _, v := range limits {
+		if v > 0 {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Ints(vs)
+	return vs[len(vs)/4]
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+func speedup(base, new uint64) float64 {
+	if new == 0 {
+		return 0
+	}
+	return float64(base) / float64(new)
+}

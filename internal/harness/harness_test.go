@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gpusched/internal/workloads"
+)
+
+func tinyHarness() *Harness {
+	return New(Options{Scale: workloads.ScaleTest, Cores: 4})
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID: "t", Title: "demo",
+		Headers: []string{"a", "longheader"},
+		Rows:    [][]string{{"xx", "1"}, {"y", "22"}},
+		Notes:   []string{"a note"},
+	}
+	var sb strings.Builder
+	table.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== t: demo ==", "longheader", "a note", "xx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	table := &Table{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"x,y", `q"u`}},
+	}
+	var sb strings.Builder
+	table.CSV(&sb)
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("fig5"); !ok {
+		t.Error("ByID(fig5) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestTable1IsStatic(t *testing.T) {
+	h := tinyHarness()
+	table := h.Table1Config()
+	if table.ID != "table1" || len(table.Rows) < 10 {
+		t.Fatalf("table1 = %+v", table)
+	}
+}
+
+func TestMemoizationReturnsSameResult(t *testing.T) {
+	h := tinyHarness()
+	spec := runSpec{names: []string{"vadd"}, sched: "base", policy: 1}
+	a := h.run(spec)
+	b := h.run(spec)
+	if a.res.Cycles != b.res.Cycles {
+		t.Fatal("memoized run differed")
+	}
+	if len(h.memo) != 1 {
+		t.Fatalf("memo has %d entries, want 1", len(h.memo))
+	}
+}
+
+func TestFig9SmallEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	h := tinyHarness()
+	table := h.Fig9BAWS()
+	// localitySet rows + geomean.
+	if len(table.Rows) != len(localitySet)+1 {
+		t.Fatalf("fig9 rows = %d, want %d", len(table.Rows), len(localitySet)+1)
+	}
+	last := table.Rows[len(table.Rows)-1]
+	if last[0] != "geomean" {
+		t.Fatalf("last row %v, want geomean", last)
+	}
+}
+
+func TestIssueHistogramShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	h := tinyHarness()
+	hist, ratio := h.issueHistogram("vadd")
+	if len(hist) == 0 {
+		t.Fatal("empty histogram")
+	}
+	if ratio < 1 || ratio > float64(len(hist))+0.01 {
+		t.Fatalf("ratio %.2f outside [1,%d]", ratio, len(hist))
+	}
+	// First entry is the completed (greedy) CTA: it must hold the max.
+	for _, v := range hist[1:] {
+		if v > hist[0] {
+			t.Fatalf("resident CTA issued %v > completed CTA %v", v, hist[0])
+		}
+	}
+}
+
+func TestLowQuartileAndMedian(t *testing.T) {
+	if got := lowQuartile([]int{0, 0, 0}); got != 0 {
+		t.Errorf("lowQuartile(all zero) = %d", got)
+	}
+	if got := lowQuartile([]int{5, 1, 4, 2, 3}); got != 2 {
+		t.Errorf("lowQuartile = %d, want 2", got)
+	}
+	if got := median([]int{5, 1, 4, 2, 3}); got != 3 {
+		t.Errorf("median = %d, want 3", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %d", got)
+	}
+}
+
+func TestDispatcherFactoryParsing(t *testing.T) {
+	h := tinyHarness()
+	cases := map[string]string{
+		"base":     "rr",
+		"lcs":      "lcs",
+		"adaptive": "lcs-adaptive",
+		"bcs:4":    "bcs",
+		"static:3": "limited",
+		"seq":      "sequential",
+		"spatial":  "spatial",
+		"mixed:2":  "mixed",
+	}
+	for spec, want := range cases {
+		if got := h.dispatcher(spec).Name(); got != want {
+			t.Errorf("dispatcher(%q).Name() = %q, want %q", spec, got, want)
+		}
+	}
+}

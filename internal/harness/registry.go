@@ -1,0 +1,37 @@
+package harness
+
+// Experiment couples an id with its generator.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(h *Harness) *Table
+}
+
+// Experiments lists every reproduced table and figure in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "simulated GPU configuration", (*Harness).Table1Config},
+		{"table2", "benchmark characteristics", (*Harness).Table2Characteristics},
+		{"fig3", "IPC vs CTA limit (motivation)", (*Harness).Fig3CTASweep},
+		{"fig4", "per-CTA issue share under GTO (motivation)", (*Harness).Fig4IssueShare},
+		{"fig5", "LCS speedup vs baseline and oracle", (*Harness).Fig5LCS},
+		{"fig6", "memory system under LCS throttling", (*Harness).Fig6LCSMemory},
+		{"fig7", "chosen CTA counts vs oracle", (*Harness).Fig7LCSChoice},
+		{"fig8", "BCS+BAWS speedup on locality workloads", (*Harness).Fig8BCS},
+		{"fig9", "BAWS warp-scheduler ablation", (*Harness).Fig9BAWS},
+		{"fig10", "concurrent kernel execution modes", (*Harness).Fig10MCKE},
+		{"fig11", "sensitivity: gang width, L1 capacity", (*Harness).Fig11Sensitivity},
+		{"fig12", "warp-scheduler interaction", (*Harness).Fig12WarpSched},
+		{"fig13", "throttling vs DYNCTA prior work", (*Harness).Fig13PriorWork},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

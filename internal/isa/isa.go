@@ -1,0 +1,211 @@
+// Package isa defines the warp-level instruction model executed by the
+// simulated SIMT cores.
+//
+// The simulator is trace-shaped: kernels are expressed as per-warp streams of
+// WarpInstr records. Each record is one dynamic instruction for one warp —
+// the static opcode plus the per-lane state (active mask, per-lane addresses
+// for memory operations) that the core and memory system need for timing.
+// Control flow is pre-lowered by the workload generators: loops arrive
+// unrolled and branch divergence is expressed through active masks, so the
+// core never re-executes or re-converges. This keeps the core model focused
+// on what CTA scheduling actually interacts with: issue bandwidth, operand
+// dependencies, and the memory system.
+package isa
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Op enumerates the opcode classes the timing model distinguishes.
+// Classes, not exact SASS opcodes: two instructions with the same latency,
+// issue port, and memory behaviour are indistinguishable to a cycle-level
+// scheduler study.
+type Op uint8
+
+const (
+	// OpNop consumes an issue slot and nothing else.
+	OpNop Op = iota
+	// OpIAlu is a single-cycle-throughput integer ALU operation
+	// (add/sub/logic/shift/compare, address arithmetic).
+	OpIAlu
+	// OpFAlu is a single-precision floating-point operation
+	// (FADD/FMUL/FFMA) executed on the SP units.
+	OpFAlu
+	// OpSfu is a special-function operation (rsqrt, sin, exp). Lower
+	// throughput, higher latency than the SP pipeline.
+	OpSfu
+	// OpLoadGlobal is a global-memory load. Per-lane addresses are
+	// coalesced into cache-line transactions and sent through
+	// L1 -> interconnect -> L2 -> DRAM.
+	OpLoadGlobal
+	// OpStoreGlobal is a global-memory store. Fermi-style: write-through
+	// past L1 (no-write-allocate), write-back at L2.
+	OpStoreGlobal
+	// OpLoadShared reads per-SM scratchpad memory; subject to bank
+	// conflicts but never leaves the core.
+	OpLoadShared
+	// OpStoreShared writes scratchpad memory.
+	OpStoreShared
+	// OpAtomicGlobal is a global read-modify-write resolved at the L2
+	// partition that owns the line.
+	OpAtomicGlobal
+	// OpBranch consumes an issue slot for the (pre-lowered) control
+	// instruction. No pipeline flush is modeled; divergence shows up as
+	// active masks on subsequent instructions.
+	OpBranch
+	// OpBarrier blocks the warp until every live warp in its CTA has
+	// arrived at the same barrier.
+	OpBarrier
+	// OpExit retires the warp. A CTA completes when all its warps exit.
+	OpExit
+
+	numOps
+)
+
+// NumOps is the number of distinct opcode classes, for sizing per-op tables.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	OpNop:          "NOP",
+	OpIAlu:         "IALU",
+	OpFAlu:         "FALU",
+	OpSfu:          "SFU",
+	OpLoadGlobal:   "LD.G",
+	OpStoreGlobal:  "ST.G",
+	OpLoadShared:   "LD.S",
+	OpStoreShared:  "ST.S",
+	OpAtomicGlobal: "ATOM.G",
+	OpBranch:       "BRA",
+	OpBarrier:      "BAR",
+	OpExit:         "EXIT",
+}
+
+// String returns the mnemonic for the opcode class.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsMemory reports whether the opcode is handled by the LDST pipeline
+// (shared, global, or atomic).
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpLoadGlobal, OpStoreGlobal, OpLoadShared, OpStoreShared, OpAtomicGlobal:
+		return true
+	}
+	return false
+}
+
+// IsGlobal reports whether the opcode accesses the global address space and
+// therefore traverses L1/interconnect/L2/DRAM.
+func (o Op) IsGlobal() bool {
+	switch o {
+	case OpLoadGlobal, OpStoreGlobal, OpAtomicGlobal:
+		return true
+	}
+	return false
+}
+
+// WritesRegister reports whether the opcode produces a register result that
+// the scoreboard must track.
+func (o Op) WritesRegister() bool {
+	switch o {
+	case OpIAlu, OpFAlu, OpSfu, OpLoadGlobal, OpLoadShared, OpAtomicGlobal:
+		return true
+	}
+	return false
+}
+
+// Reg identifies an architectural register within a warp. Register 0 is the
+// zero register: reads from it never stall and writes to it are discarded,
+// which lets generators express "no destination" uniformly.
+type Reg uint8
+
+// MaxRegs bounds the per-thread architectural register space the scoreboard
+// tracks. 64 matches the Fermi-class per-thread limit.
+const MaxRegs = 64
+
+// WarpSize is the number of lanes per warp. Fixed at 32 across the code base
+// (NVIDIA-style); several bitmask representations depend on it.
+const WarpSize = 32
+
+// FullMask is the active mask with all 32 lanes enabled.
+const FullMask uint32 = 0xFFFFFFFF
+
+// WarpInstr is one dynamic instruction for one warp. Workload program
+// iterators fill these in place (the core reuses a buffer per warp), so the
+// struct deliberately embeds its per-lane address array instead of pointing
+// to a heap slice.
+type WarpInstr struct {
+	// Op is the opcode class; it selects the pipeline and latency.
+	Op Op
+	// Dst is the destination register (0 = none even for writing ops).
+	Dst Reg
+	// Src lists up to three source registers; 0 entries are ignored.
+	Src [3]Reg
+	// Mask is the active-lane mask. Inactive lanes contribute no memory
+	// accesses. An instruction with Mask==0 is still issued (it models a
+	// fully-predicated-off instruction occupying an issue slot).
+	Mask uint32
+	// Addrs holds per-lane byte addresses for memory operations.
+	// For global ops these are offsets into the kernel's flat global
+	// address space; for shared ops, offsets into the CTA's scratchpad.
+	// Only entries whose lane bit is set in Mask are meaningful.
+	Addrs [WarpSize]uint32
+	// BankConflict optionally overrides the shared-memory conflict degree
+	// (number of serialized passes). 0 means "derive from Addrs".
+	BankConflict uint8
+}
+
+// ActiveLanes returns the number of enabled lanes.
+func (wi *WarpInstr) ActiveLanes() int {
+	return bits.OnesCount32(wi.Mask)
+}
+
+// Reset clears the record so a reused buffer never leaks stale lane state
+// between instructions.
+func (wi *WarpInstr) Reset() {
+	*wi = WarpInstr{}
+}
+
+// Program is a lazily-evaluated per-warp instruction stream. Next fills buf
+// with the next dynamic instruction and reports whether one was produced;
+// after it returns false the warp has terminated (generators emit OpExit as
+// their final instruction, but the core also treats stream end as exit).
+//
+// Implementations are stateful per warp and must be deterministic: the
+// simulator replays nothing, but experiments compare scheduler policies on
+// identical instruction streams, so two iterators constructed with the same
+// parameters must produce identical sequences.
+type Program interface {
+	Next(buf *WarpInstr) bool
+}
+
+// ProgramFunc adapts a closure to the Program interface.
+type ProgramFunc func(buf *WarpInstr) bool
+
+// Next implements Program.
+func (f ProgramFunc) Next(buf *WarpInstr) bool { return f(buf) }
+
+// SliceProgram is a Program backed by a pre-built instruction slice. It is
+// the convenient form for tests and for short fixed kernels.
+type SliceProgram struct {
+	Instrs []WarpInstr
+	pos    int
+}
+
+// Next implements Program.
+func (p *SliceProgram) Next(buf *WarpInstr) bool {
+	if p.pos >= len(p.Instrs) {
+		return false
+	}
+	*buf = p.Instrs[p.pos]
+	p.pos++
+	return true
+}
+
+// Remaining returns how many instructions have not yet been consumed.
+func (p *SliceProgram) Remaining() int { return len(p.Instrs) - p.pos }

@@ -1,0 +1,205 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop:          "NOP",
+		OpIAlu:         "IALU",
+		OpFAlu:         "FALU",
+		OpSfu:          "SFU",
+		OpLoadGlobal:   "LD.G",
+		OpStoreGlobal:  "ST.G",
+		OpLoadShared:   "LD.S",
+		OpStoreShared:  "ST.S",
+		OpAtomicGlobal: "ATOM.G",
+		OpBranch:       "BRA",
+		OpBarrier:      "BAR",
+		OpExit:         "EXIT",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "Op(200)" {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	type pred struct{ mem, global, writes bool }
+	cases := map[Op]pred{
+		OpNop:          {false, false, false},
+		OpIAlu:         {false, false, true},
+		OpFAlu:         {false, false, true},
+		OpSfu:          {false, false, true},
+		OpLoadGlobal:   {true, true, true},
+		OpStoreGlobal:  {true, true, false},
+		OpLoadShared:   {true, false, true},
+		OpStoreShared:  {true, false, false},
+		OpAtomicGlobal: {true, true, true},
+		OpBranch:       {false, false, false},
+		OpBarrier:      {false, false, false},
+		OpExit:         {false, false, false},
+	}
+	for op, want := range cases {
+		if got := op.IsMemory(); got != want.mem {
+			t.Errorf("%v.IsMemory() = %v, want %v", op, got, want.mem)
+		}
+		if got := op.IsGlobal(); got != want.global {
+			t.Errorf("%v.IsGlobal() = %v, want %v", op, got, want.global)
+		}
+		if got := op.WritesRegister(); got != want.writes {
+			t.Errorf("%v.WritesRegister() = %v, want %v", op, got, want.writes)
+		}
+	}
+}
+
+func TestGlobalImpliesMemory(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.IsGlobal() && !op.IsMemory() {
+			t.Errorf("%v is global but not memory", op)
+		}
+	}
+}
+
+func TestActiveLanes(t *testing.T) {
+	cases := []struct {
+		mask uint32
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{FullMask, 32},
+		{0xAAAAAAAA, 16},
+		{0x80000001, 2},
+	}
+	for _, c := range cases {
+		wi := WarpInstr{Mask: c.mask}
+		if got := wi.ActiveLanes(); got != c.want {
+			t.Errorf("ActiveLanes(%#x) = %d, want %d", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestActiveLanesMatchesPopcount(t *testing.T) {
+	f := func(mask uint32) bool {
+		wi := WarpInstr{Mask: mask}
+		want := 0
+		for i := 0; i < 32; i++ {
+			if mask&(1<<i) != 0 {
+				want++
+			}
+		}
+		return wi.ActiveLanes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWarpInstrReset(t *testing.T) {
+	wi := WarpInstr{Op: OpLoadGlobal, Dst: 5, Mask: FullMask}
+	wi.Addrs[3] = 12345
+	wi.Reset()
+	if wi.Op != OpNop || wi.Dst != 0 || wi.Mask != 0 || wi.Addrs[3] != 0 {
+		t.Errorf("Reset left state behind: %+v", wi)
+	}
+}
+
+func TestSliceProgram(t *testing.T) {
+	p := NewBuilder().IAlu(1).FAlu(2, 1).Exit().Build()
+	var buf WarpInstr
+	var ops []Op
+	for p.Next(&buf) {
+		ops = append(ops, buf.Op)
+	}
+	want := []Op{OpIAlu, OpFAlu, OpExit}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d instrs, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("instr %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+	if p.Next(&buf) {
+		t.Error("Next returned true after exhaustion")
+	}
+	if p.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", p.Remaining())
+	}
+}
+
+func TestBuilderIsolation(t *testing.T) {
+	b := NewBuilder().IAlu(1)
+	p1 := b.Build()
+	b.FAlu(2, 1)
+	p2 := b.Build()
+	if len(p1.Instrs) != 1 {
+		t.Errorf("earlier Build mutated: len = %d, want 1", len(p1.Instrs))
+	}
+	if len(p2.Instrs) != 2 {
+		t.Errorf("later Build wrong: len = %d, want 2", len(p2.Instrs))
+	}
+}
+
+func TestBuilderLinearAddresses(t *testing.T) {
+	p := NewBuilder().LoadGlobal(1, 1000).Build()
+	wi := p.Instrs[0]
+	for lane := 0; lane < WarpSize; lane++ {
+		want := uint32(1000 + lane*4)
+		if wi.Addrs[lane] != want {
+			t.Fatalf("lane %d addr = %d, want %d", lane, wi.Addrs[lane], want)
+		}
+	}
+}
+
+func TestBuilderStrideAddresses(t *testing.T) {
+	p := NewBuilder().LoadGlobalStride(1, 0, 128).Build()
+	wi := p.Instrs[0]
+	for lane := 0; lane < WarpSize; lane++ {
+		if wi.Addrs[lane] != uint32(lane*128) {
+			t.Fatalf("lane %d addr = %d, want %d", lane, wi.Addrs[lane], lane*128)
+		}
+	}
+}
+
+func TestBuilderSourceRegisters(t *testing.T) {
+	p := NewBuilder().FAlu(4, 1, 2, 3).Build()
+	wi := p.Instrs[0]
+	if wi.Src != [3]Reg{1, 2, 3} {
+		t.Errorf("Src = %v, want [1 2 3]", wi.Src)
+	}
+	// More than 3 sources are truncated, not panicked on.
+	p = NewBuilder().FAlu(5, 1, 2, 3, 4).Build()
+	if p.Instrs[0].Src != [3]Reg{1, 2, 3} {
+		t.Errorf("overflow Src = %v, want [1 2 3]", p.Instrs[0].Src)
+	}
+}
+
+func TestProgramFunc(t *testing.T) {
+	n := 0
+	p := ProgramFunc(func(buf *WarpInstr) bool {
+		if n >= 2 {
+			return false
+		}
+		buf.Reset()
+		buf.Op = OpIAlu
+		buf.Mask = FullMask
+		n++
+		return true
+	})
+	var buf WarpInstr
+	count := 0
+	for p.Next(&buf) {
+		count++
+	}
+	if count != 2 {
+		t.Errorf("ProgramFunc yielded %d instrs, want 2", count)
+	}
+}

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"fmt"
+
+	"gpusched/internal/stats"
+)
+
+// Cache is a set-associative, LRU, line-granularity cache model. It tracks
+// tags only (the simulator carries no data), so a "fill" installs presence
+// and an "access" tests it. Write policy is the caller's concern: L1 uses it
+// read-only (write-through no-allocate), L2 marks lines dirty and collects
+// write-backs on eviction.
+type Cache struct {
+	sets      []cacheSet
+	setMask   uint64
+	lineShift uint
+	useClock  uint64
+	// Stats accumulates hit/miss counters. Accesses through helper methods
+	// on L1/L2 front-ends update it; direct Lookup/Fill calls do not.
+	Stats stats.Cache
+}
+
+type cacheSet struct {
+	lines []cacheLine
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// NewCache builds a cache of sizeBytes capacity with the given line size and
+// associativity. sizeBytes must divide evenly into ways*lineBytes sets and
+// the set count must be a power of two.
+func NewCache(sizeBytes, lineBytes, ways int) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("mem: invalid cache geometry %d/%d/%d", sizeBytes, lineBytes, ways))
+	}
+	numLines := sizeBytes / lineBytes
+	numSets := numLines / ways
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("mem: set count %d not a power of two", numSets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &Cache{
+		sets:      make([]cacheSet, numSets),
+		setMask:   uint64(numSets - 1),
+		lineShift: shift,
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return len(c.sets[0].lines) }
+
+func (c *Cache) index(lineAddr uint64) (set *cacheSet, tag uint64) {
+	idx := (lineAddr >> c.lineShift) & c.setMask
+	return &c.sets[idx], lineAddr >> c.lineShift
+}
+
+// Lookup probes for lineAddr. On a hit it refreshes LRU state and, when
+// markDirty is set, marks the line dirty. It does not touch Stats.
+func (c *Cache) Lookup(lineAddr uint64, markDirty bool) bool {
+	set, tag := c.index(lineAddr)
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == tag {
+			c.useClock++
+			ln.lastUse = c.useClock
+			if markDirty {
+				ln.dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains probes for lineAddr without perturbing LRU or dirty state.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set, tag := c.index(lineAddr)
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line displaced by Fill.
+type Eviction struct {
+	LineAddr uint64
+	Dirty    bool
+	Valid    bool // false when the fill used an empty way
+}
+
+// Fill installs lineAddr (evicting the LRU way if the set is full) and
+// returns what was displaced. If the line is already present the call only
+// refreshes LRU/dirty state. It does not touch Stats.
+func (c *Cache) Fill(lineAddr uint64, dirty bool) Eviction {
+	set, tag := c.index(lineAddr)
+	c.useClock++
+	victim := -1
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.useClock
+			if dirty {
+				ln.dirty = true
+			}
+			return Eviction{}
+		}
+		if !ln.valid {
+			if victim == -1 || set.lines[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if victim == -1 || (set.lines[victim].valid && ln.lastUse < set.lines[victim].lastUse) {
+			victim = i
+		}
+	}
+	ev := Eviction{}
+	v := &set.lines[victim]
+	if v.valid {
+		ev = Eviction{LineAddr: v.tag << c.lineShift, Dirty: v.dirty, Valid: true}
+	}
+	*v = cacheLine{tag: tag, valid: true, dirty: dirty, lastUse: c.useClock}
+	return ev
+}
+
+// Invalidate drops lineAddr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	set, tag := c.index(lineAddr)
+	for i := range set.lines {
+		ln := &set.lines[i]
+		if ln.valid && ln.tag == tag {
+			d := ln.dirty
+			*ln = cacheLine{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates everything and returns the dirty line addresses.
+func (c *Cache) Flush() []uint64 {
+	var dirty []uint64
+	for s := range c.sets {
+		for i := range c.sets[s].lines {
+			ln := &c.sets[s].lines[i]
+			if ln.valid && ln.dirty {
+				dirty = append(dirty, ln.tag<<c.lineShift)
+			}
+			*ln = cacheLine{}
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,211 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(16*1024, 128, 4)
+	if c.NumSets() != 32 || c.Ways() != 4 {
+		t.Fatalf("geometry = %d sets x %d ways, want 32x4", c.NumSets(), c.Ways())
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two set count did not panic")
+		}
+	}()
+	NewCache(3*128, 128, 1) // 3 sets
+}
+
+func TestCacheFillThenLookup(t *testing.T) {
+	c := NewCache(1024, 128, 2)
+	if c.Lookup(0, false) {
+		t.Fatal("empty cache hit")
+	}
+	ev := c.Fill(0, false)
+	if ev.Valid {
+		t.Fatalf("fill into empty set evicted %+v", ev)
+	}
+	if !c.Lookup(0, false) {
+		t.Fatal("filled line missed")
+	}
+	if !c.Contains(0) {
+		t.Fatal("Contains false for resident line")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 4 sets, 128B lines. Same-set addresses differ by 4*128.
+	c := NewCache(1024, 128, 2)
+	setStride := uint64(4 * 128)
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Lookup(a, false) // refresh a: b is now LRU
+	ev := c.Fill(d, false)
+	if !ev.Valid || ev.LineAddr != b {
+		t.Fatalf("evicted %+v, want line %d", ev, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := NewCache(256, 128, 1) // direct-mapped, 2 sets
+	c.Fill(0, true)
+	ev := c.Fill(2*128, false) // same set 0
+	if !ev.Valid || !ev.Dirty || ev.LineAddr != 0 {
+		t.Fatalf("dirty eviction = %+v", ev)
+	}
+}
+
+func TestCacheLookupMarkDirty(t *testing.T) {
+	c := NewCache(256, 128, 1)
+	c.Fill(0, false)
+	c.Lookup(0, true)
+	ev := c.Fill(2*128, false)
+	if !ev.Dirty {
+		t.Fatal("markDirty lookup did not dirty the line")
+	}
+}
+
+func TestCacheRefillRefreshesNotEvicts(t *testing.T) {
+	c := NewCache(256, 128, 2) // 1 set, 2 ways
+	c.Fill(0, false)
+	c.Fill(128, false)
+	ev := c.Fill(0, true) // already present
+	if ev.Valid {
+		t.Fatalf("refill evicted %+v", ev)
+	}
+	// 0 was refreshed, so 128 is LRU.
+	ev = c.Fill(256, false)
+	if ev.LineAddr != 128 {
+		t.Fatalf("evicted %d, want 128", ev.LineAddr)
+	}
+	// Refill marked 0 dirty.
+	ev = c.Fill(384, false)
+	if ev.LineAddr != 0 || !ev.Dirty {
+		t.Fatalf("eviction = %+v, want dirty line 0", ev)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(256, 128, 1)
+	c.Fill(0, true)
+	present, dirty := c.Invalidate(0)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Contains(0) {
+		t.Fatal("line survived invalidate")
+	}
+	present, _ = c.Invalidate(0)
+	if present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(1024, 128, 2)
+	c.Fill(0, true)
+	c.Fill(128, false)
+	c.Fill(256, true)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("Flush returned %d dirty lines, want 2", len(dirty))
+	}
+	if c.Contains(0) || c.Contains(128) {
+		t.Fatal("lines survived flush")
+	}
+}
+
+func TestCacheCapacityProperty(t *testing.T) {
+	// Property: after filling W distinct same-set lines into a W-way cache,
+	// all W remain resident; a W+1'th evicts exactly one of them.
+	f := func(waysRaw uint8, seed uint16) bool {
+		ways := int(waysRaw%7) + 1
+		sets := 8
+		c := NewCache(sets*ways*128, 128, ways)
+		set := uint64(seed) % uint64(sets)
+		lineFor := func(i int) uint64 { return (uint64(i)*uint64(sets) + set) * 128 }
+		for i := 0; i < ways; i++ {
+			if ev := c.Fill(lineFor(i), false); ev.Valid {
+				return false
+			}
+		}
+		for i := 0; i < ways; i++ {
+			if !c.Contains(lineFor(i)) {
+				return false
+			}
+		}
+		ev := c.Fill(lineFor(ways), false)
+		return ev.Valid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRBasic(t *testing.T) {
+	m := NewMSHR(2, 2)
+	if m.Pending(0) {
+		t.Fatal("empty MSHR pending")
+	}
+	if !m.Allocate(0, 10) {
+		t.Fatal("allocate failed on empty MSHR")
+	}
+	if !m.Pending(0) {
+		t.Fatal("allocated line not pending")
+	}
+	if !m.Merge(0, 11) {
+		t.Fatal("merge failed with capacity")
+	}
+	if m.Merge(0, 12) {
+		t.Fatal("merge succeeded past capacity")
+	}
+	if !m.Allocate(128, 20) {
+		t.Fatal("second allocate failed")
+	}
+	if !m.Full() {
+		t.Fatal("MSHR not full at capacity")
+	}
+	if m.Allocate(256, 30) {
+		t.Fatal("allocate succeeded on full MSHR")
+	}
+	toks := m.Complete(0)
+	if len(toks) != 2 || toks[0] != 10 || toks[1] != 11 {
+		t.Fatalf("Complete = %v, want [10 11]", toks)
+	}
+	if m.Pending(0) || m.Used() != 1 {
+		t.Fatal("completion did not retire entry")
+	}
+	if got := m.Complete(999); got != nil {
+		t.Fatalf("Complete on unknown line = %v, want nil", got)
+	}
+}
+
+func TestMSHRAllocatePendingPanics(t *testing.T) {
+	m := NewMSHR(4, 4)
+	m.Allocate(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Allocate on pending line did not panic")
+		}
+	}()
+	m.Allocate(0, 2)
+}
+
+func TestMSHRMergeUnknownPanics(t *testing.T) {
+	m := NewMSHR(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge on unknown line did not panic")
+		}
+	}()
+	m.Merge(0, 1)
+}

@@ -1,0 +1,183 @@
+package mem
+
+import "gpusched/internal/stats"
+
+// dramReq is a queued DRAM transaction.
+type dramReq struct {
+	req     Request
+	arrived uint64
+}
+
+// DRAMChannel models one GDDR channel: a bounded request queue scheduled
+// FR-FCFS (row hits first, then oldest), per-bank open-row state, and a
+// shared data bus occupied tBurst cycles per line. Reads complete with a
+// callback; writes (stores and L2 write-backs) complete silently.
+type DRAMChannel struct {
+	cfg   *Config
+	queue []dramReq
+	banks []dramBank
+	// Cached address-mapping constants (hot path).
+	lineShift   uint
+	linesPerRow uint64
+	// busFreeAt is when the data bus can start the next transfer.
+	busFreeAt uint64
+	// onComplete receives finished read requests (loads/atomics).
+	onComplete func(req Request, now uint64)
+	// completions holds in-flight transfers ordered by finish time.
+	completions []dramCompletion
+
+	Stats stats.DRAM
+}
+
+type dramBank struct {
+	openRow  uint64
+	rowValid bool
+	// freeAt is when the bank can accept its next activation/column op.
+	freeAt uint64
+}
+
+type dramCompletion struct {
+	at  uint64
+	req Request
+}
+
+// NewDRAMChannel builds a channel with the config's timing. onComplete is
+// invoked for each finished read in completion-time order.
+func NewDRAMChannel(cfg *Config, onComplete func(req Request, now uint64)) *DRAMChannel {
+	return &DRAMChannel{
+		cfg:         cfg,
+		banks:       make([]dramBank, cfg.DRAMBanks),
+		onComplete:  onComplete,
+		lineShift:   cfg.LineShift(),
+		linesPerRow: uint64(cfg.DRAMRowBytes / cfg.LineBytes),
+	}
+}
+
+// CanAccept reports whether the request queue has space.
+func (d *DRAMChannel) CanAccept() bool { return len(d.queue) < d.cfg.DRAMQueueCap }
+
+// Enqueue adds a request; the caller must have checked CanAccept.
+func (d *DRAMChannel) Enqueue(req Request, now uint64) {
+	if !d.CanAccept() {
+		panic("mem: DRAM enqueue past capacity")
+	}
+	d.queue = append(d.queue, dramReq{req: req, arrived: now})
+}
+
+// QueueLen returns the number of waiting (unscheduled) requests.
+func (d *DRAMChannel) QueueLen() int { return len(d.queue) }
+
+// bankAndRow maps a line address to its bank index and row id within the
+// channel. Lines are already channel-interleaved by PartitionOf, so the
+// per-channel line index is lineAddr/(lineBytes*partitions); consecutive
+// in-channel lines fall in the same row until the row is exhausted, then
+// move to the next bank — the standard row-interleaved mapping that rewards
+// spatial locality with row hits.
+func (d *DRAMChannel) bankAndRow(lineAddr uint64) (bank int, row uint64) {
+	chLine := (lineAddr >> d.lineShift) / uint64(d.cfg.Partitions)
+	rowGlobal := chLine / d.linesPerRow
+	bank = int(rowGlobal % uint64(d.cfg.DRAMBanks))
+	row = rowGlobal / uint64(d.cfg.DRAMBanks)
+	return bank, row
+}
+
+// Tick advances the channel one cycle: it delivers finished transfers, then
+// schedules at most one queued request (FR-FCFS: oldest row hit whose bank
+// is free, else oldest request whose bank is free).
+func (d *DRAMChannel) Tick(now uint64) {
+	for len(d.completions) > 0 && d.completions[0].at <= now {
+		c := d.completions[0]
+		copy(d.completions, d.completions[1:])
+		d.completions = d.completions[:len(d.completions)-1]
+		if d.onComplete != nil {
+			d.onComplete(c.req, now)
+		}
+	}
+
+	if len(d.queue) == 0 {
+		return
+	}
+	pick := -1
+	pickHit := false
+	for i, qr := range d.queue {
+		bank, row := d.bankAndRow(qr.req.LineAddr)
+		b := &d.banks[bank]
+		if b.freeAt > now {
+			continue
+		}
+		hit := b.rowValid && b.openRow == row
+		if d.cfg.DRAMSchedFCFS {
+			// Strict arrival order: take the oldest serviceable request.
+			pick, pickHit = i, hit
+			break
+		}
+		if hit {
+			pick = i
+			pickHit = true
+			break // queue is in arrival order: first row hit is oldest row hit
+		}
+		if pick == -1 {
+			pick = i
+		}
+	}
+	if pick == -1 {
+		return // all candidate banks busy
+	}
+	qr := d.queue[pick]
+	copy(d.queue[pick:], d.queue[pick+1:])
+	d.queue = d.queue[:len(d.queue)-1]
+
+	bank, row := d.bankAndRow(qr.req.LineAddr)
+	b := &d.banks[bank]
+	act := uint64(0)
+	if pickHit {
+		d.Stats.RowHits++
+	} else {
+		d.Stats.RowMisses++
+		act = d.cfg.DRAMtRowExtra
+	}
+	b.openRow = row
+	b.rowValid = true
+
+	// The column access begins after any activation; the burst begins when
+	// both the column data is ready and the bus is free.
+	colReady := now + act + d.cfg.DRAMtCAS
+	busStart := max64(colReady, d.busFreeAt)
+	busEnd := busStart + d.cfg.DRAMtBurst
+	d.busFreeAt = busEnd
+	b.freeAt = busEnd // simplification: bank busy until its burst drains
+	d.Stats.BusyCycles += d.cfg.DRAMtBurst
+	d.Stats.QueueLatencySum += now - qr.arrived
+	d.Stats.ServicedRequests++
+
+	switch qr.req.Kind {
+	case ReqStore, reqWriteBack:
+		d.Stats.Writes++
+		// Writes complete silently once the burst drains.
+	default:
+		d.Stats.Reads++
+		d.insertCompletion(dramCompletion{at: busEnd, req: qr.req})
+	}
+}
+
+func (d *DRAMChannel) insertCompletion(c dramCompletion) {
+	i := len(d.completions)
+	for i > 0 && d.completions[i-1].at > c.at {
+		i--
+	}
+	d.completions = append(d.completions, dramCompletion{})
+	copy(d.completions[i+1:], d.completions[i:])
+	d.completions[i] = c
+}
+
+// Drained reports whether no requests are queued or in flight.
+func (d *DRAMChannel) Drained() bool {
+	return len(d.queue) == 0 && len(d.completions) == 0
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package mem
+
+import "testing"
+
+func testDRAMConfig() *Config {
+	cfg := DefaultConfig()
+	cfg.Partitions = 1 // channel-local line index == global line index
+	return &cfg
+}
+
+func runChannel(d *DRAMChannel, cycles uint64) {
+	for now := uint64(0); now < cycles; now++ {
+		d.Tick(now)
+	}
+}
+
+func TestDRAMReadCompletes(t *testing.T) {
+	cfg := testDRAMConfig()
+	var done []Request
+	var doneAt []uint64
+	d := NewDRAMChannel(cfg, func(req Request, now uint64) {
+		done = append(done, req)
+		doneAt = append(doneAt, now)
+	})
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: 0, Token: 7}, 0)
+	runChannel(d, 200)
+	if len(done) != 1 || done[0].Token != 7 {
+		t.Fatalf("completions = %v", done)
+	}
+	// Cold row: tick at cycle 1 schedules, row-miss latency applies.
+	wantMin := cfg.DRAMtRowExtra + cfg.DRAMtCAS + cfg.DRAMtBurst
+	if doneAt[0] < wantMin {
+		t.Fatalf("completed at %d, want >= %d", doneAt[0], wantMin)
+	}
+	if !d.Drained() {
+		t.Fatal("channel not drained")
+	}
+	if d.Stats.Reads != 1 || d.Stats.RowMisses != 1 {
+		t.Fatalf("stats = %+v", d.Stats)
+	}
+}
+
+func TestDRAMRowHitFasterThanMiss(t *testing.T) {
+	cfg := testDRAMConfig()
+	var doneAt []uint64
+	d := NewDRAMChannel(cfg, func(req Request, now uint64) {
+		doneAt = append(doneAt, now)
+	})
+	// Two lines in the same row: second should be a row hit.
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: 0}, 0)
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: uint64(cfg.LineBytes)}, 0)
+	runChannel(d, 400)
+	if len(doneAt) != 2 {
+		t.Fatalf("%d completions", len(doneAt))
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowMisses != 1 {
+		t.Fatalf("row stats = %+v", d.Stats)
+	}
+	gap := doneAt[1] - doneAt[0]
+	// A row hit behind a row miss is limited by bus occupancy, far less
+	// than a full activate.
+	if gap > cfg.DRAMtCAS+cfg.DRAMtBurst {
+		t.Fatalf("row-hit gap %d too large", gap)
+	}
+}
+
+func TestDRAMFRFCFSPrefersRowHit(t *testing.T) {
+	cfg := testDRAMConfig()
+	linesPerRow := uint64(cfg.DRAMRowBytes / cfg.LineBytes)
+	rowStride := linesPerRow * uint64(cfg.LineBytes) * uint64(cfg.DRAMBanks)
+	var order []uint64
+	d := NewDRAMChannel(cfg, func(req Request, now uint64) {
+		order = append(order, req.LineAddr)
+	})
+	// Open row 0 on bank 0.
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: 0}, 0)
+	runChannel(d, 100)
+	// Now queue: a row-conflict request (same bank, different row) first,
+	// then a row hit. FR-FCFS should reorder.
+	conflict := rowStride // bank 0, row 1
+	hit := uint64(cfg.LineBytes)
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: conflict}, 100)
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: hit}, 100)
+	runChannel(d, 600)
+	if len(order) != 3 {
+		t.Fatalf("completions = %v", order)
+	}
+	if order[1] != hit || order[2] != conflict {
+		t.Fatalf("service order = %v, want row hit %d before conflict %d", order[1:], hit, conflict)
+	}
+}
+
+func TestDRAMFCFSKeepsArrivalOrder(t *testing.T) {
+	cfg := testDRAMConfig()
+	cfg.DRAMSchedFCFS = true
+	linesPerRow := uint64(cfg.DRAMRowBytes / cfg.LineBytes)
+	rowStride := linesPerRow * uint64(cfg.LineBytes) * uint64(cfg.DRAMBanks)
+	var order []uint64
+	d := NewDRAMChannel(cfg, func(req Request, now uint64) {
+		order = append(order, req.LineAddr)
+	})
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: 0}, 0)
+	runChannel(d, 100)
+	// Conflict first, then a row hit: FCFS must NOT reorder.
+	conflict := rowStride
+	hit := uint64(cfg.LineBytes)
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: conflict}, 100)
+	d.Enqueue(Request{Kind: ReqLoad, LineAddr: hit}, 100)
+	runChannel(d, 600)
+	if len(order) != 3 || order[1] != conflict || order[2] != hit {
+		t.Fatalf("FCFS order = %v, want arrival order [0 %d %d]", order, conflict, hit)
+	}
+}
+
+func TestDRAMWritesSilent(t *testing.T) {
+	cfg := testDRAMConfig()
+	calls := 0
+	d := NewDRAMChannel(cfg, func(req Request, now uint64) { calls++ })
+	d.Enqueue(Request{Kind: ReqStore, LineAddr: 0}, 0)
+	d.Enqueue(Request{Kind: reqWriteBack, LineAddr: 128}, 0)
+	runChannel(d, 300)
+	if calls != 0 {
+		t.Fatalf("write completion callback fired %d times", calls)
+	}
+	if d.Stats.Writes != 2 || d.Stats.Reads != 0 {
+		t.Fatalf("stats = %+v", d.Stats)
+	}
+	if !d.Drained() {
+		t.Fatal("writes left channel undrained")
+	}
+}
+
+func TestDRAMQueueCapacity(t *testing.T) {
+	cfg := testDRAMConfig()
+	d := NewDRAMChannel(cfg, nil)
+	for i := 0; i < cfg.DRAMQueueCap; i++ {
+		if !d.CanAccept() {
+			t.Fatalf("queue full after %d", i)
+		}
+		d.Enqueue(Request{Kind: ReqStore, LineAddr: uint64(i * 128)}, 0)
+	}
+	if d.CanAccept() {
+		t.Fatal("queue accepted past capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Enqueue past capacity did not panic")
+		}
+	}()
+	d.Enqueue(Request{Kind: ReqStore}, 0)
+}
+
+func TestDRAMBankMapping(t *testing.T) {
+	cfg := testDRAMConfig()
+	d := NewDRAMChannel(cfg, nil)
+	// Consecutive lines within one row share bank and row.
+	b0, r0 := d.bankAndRow(0)
+	b1, r1 := d.bankAndRow(uint64(cfg.LineBytes))
+	if b0 != b1 || r0 != r1 {
+		t.Fatalf("same-row lines mapped to (%d,%d) and (%d,%d)", b0, r0, b1, r1)
+	}
+	// Next row moves to the next bank.
+	b2, _ := d.bankAndRow(uint64(cfg.DRAMRowBytes))
+	if b2 != (b0+1)%cfg.DRAMBanks {
+		t.Fatalf("row-crossing line in bank %d, want %d", b2, (b0+1)%cfg.DRAMBanks)
+	}
+}
+
+func TestDRAMBandwidthBound(t *testing.T) {
+	// Saturating the channel with row hits: steady-state service rate must
+	// be one line per tBurst (bus-bound), not one per tCAS+tBurst.
+	cfg := testDRAMConfig()
+	served := 0
+	d := NewDRAMChannel(cfg, func(req Request, now uint64) { served++ })
+	next := uint64(0)
+	total := uint64(4000)
+	for now := uint64(0); now < total; now++ {
+		for d.CanAccept() {
+			d.Enqueue(Request{Kind: ReqLoad, LineAddr: next * uint64(cfg.LineBytes)}, now)
+			next++
+		}
+		d.Tick(now)
+	}
+	// Perfect bus utilization would serve total/tBurst; allow 25% slack for
+	// row misses at row boundaries and ramp-up.
+	wantMin := int(float64(total/cfg.DRAMtBurst) * 0.75)
+	if served < wantMin {
+		t.Fatalf("served %d lines in %d cycles, want >= %d", served, total, wantMin)
+	}
+}

@@ -1,0 +1,79 @@
+package mem
+
+// MSHR is a miss-status holding register file: it tracks lines with an
+// outstanding fill and merges subsequent misses to the same line so only one
+// request per line leaves the cache. Tokens of merged requesters are
+// released together when the fill completes.
+type MSHR struct {
+	entries    map[uint64][]uint32
+	maxEntries int
+	maxMerges  int
+}
+
+// NewMSHR builds an MSHR file with maxEntries distinct pending lines and up
+// to maxMerges requesters per line (the primary miss counts as one).
+func NewMSHR(maxEntries, maxMerges int) *MSHR {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	if maxMerges <= 0 {
+		maxMerges = 1
+	}
+	return &MSHR{
+		entries:    make(map[uint64][]uint32, maxEntries),
+		maxEntries: maxEntries,
+		maxMerges:  maxMerges,
+	}
+}
+
+// Pending reports whether lineAddr already has an outstanding fill.
+func (m *MSHR) Pending(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Full reports whether no new line entry can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntries }
+
+// Allocate records a primary miss for lineAddr carrying token. It returns
+// false when the MSHR file is full (the access must retry). lineAddr must
+// not already be pending; merge those with Merge.
+func (m *MSHR) Allocate(lineAddr uint64, token uint32) bool {
+	if m.Full() {
+		return false
+	}
+	if _, ok := m.entries[lineAddr]; ok {
+		panic("mem: MSHR Allocate on already-pending line")
+	}
+	m.entries[lineAddr] = append(make([]uint32, 0, 2), token)
+	return true
+}
+
+// Merge attaches token to the pending entry for lineAddr. It returns false
+// when the per-line merge capacity is exhausted (the access must retry).
+func (m *MSHR) Merge(lineAddr uint64, token uint32) bool {
+	toks, ok := m.entries[lineAddr]
+	if !ok {
+		panic("mem: MSHR Merge on non-pending line")
+	}
+	if len(toks) >= m.maxMerges {
+		return false
+	}
+	m.entries[lineAddr] = append(toks, token)
+	return true
+}
+
+// Complete retires the entry for lineAddr and returns all waiting tokens in
+// arrival order. Completing a non-pending line returns nil (a response can
+// race a flush only in tests; real fills always have an entry).
+func (m *MSHR) Complete(lineAddr uint64) []uint32 {
+	toks, ok := m.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, lineAddr)
+	return toks
+}
+
+// Used returns the number of occupied line entries.
+func (m *MSHR) Used() int { return len(m.entries) }

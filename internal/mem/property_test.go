@@ -1,0 +1,170 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPipeFIFOProperty: any interleaving of pushes and pops preserves FIFO
+// order and never loses or duplicates entries.
+func TestPipeFIFOProperty(t *testing.T) {
+	f := func(ops []bool, capRaw, latRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		latency := uint64(latRaw % 16)
+		p := newPipe[int](capacity, latency)
+		next, expect := 0, 0
+		now := uint64(0)
+		for _, isPush := range ops {
+			if isPush {
+				if p.Push(now, next) {
+					next++
+				} else if p.Len() != capacity {
+					return false // rejected while not full
+				}
+			} else if p.CanPop(now) {
+				if p.Pop() != expect {
+					return false
+				}
+				expect++
+			}
+			now++
+		}
+		// Drain the rest.
+		now += latency
+		for p.CanPop(now) {
+			if p.Pop() != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next && p.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMSHRConservationProperty: every token allocated or merged comes back
+// exactly once through Complete.
+func TestMSHRConservationProperty(t *testing.T) {
+	f := func(lines []uint8, entriesRaw, mergesRaw uint8) bool {
+		m := NewMSHR(int(entriesRaw%8)+1, int(mergesRaw%4)+1)
+		in := map[uint32]bool{}
+		tok := uint32(0)
+		for _, l := range lines {
+			line := uint64(l%16) * 128
+			if m.Pending(line) {
+				if m.Merge(line, tok) {
+					in[tok] = true
+					tok++
+				}
+			} else if m.Allocate(line, tok) {
+				in[tok] = true
+				tok++
+			}
+		}
+		out := map[uint32]bool{}
+		for line := uint64(0); line < 16*128; line += 128 {
+			for _, tk := range m.Complete(line) {
+				if out[tk] {
+					return false // duplicate release
+				}
+				out[tk] = true
+			}
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for tk := range in {
+			if !out[tk] {
+				return false
+			}
+		}
+		return m.Used() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDRAMCompletionConservation: every enqueued read completes exactly
+// once, regardless of address pattern; writes never produce completions.
+func TestDRAMCompletionConservation(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		cfg := testDRAMConfig()
+		got := map[uint32]int{}
+		d := NewDRAMChannel(cfg, func(req Request, now uint64) {
+			got[req.Token]++
+		})
+		reads := 0
+		now := uint64(0)
+		i := 0
+		for i < len(addrs) {
+			if d.CanAccept() {
+				kind := ReqLoad
+				if i < len(writes) && writes[i] {
+					kind = ReqStore
+				} else {
+					reads++
+				}
+				d.Enqueue(Request{
+					Kind:     kind,
+					LineAddr: uint64(addrs[i]) * 128,
+					Token:    uint32(i),
+				}, now)
+				i++
+			}
+			d.Tick(now)
+			now++
+		}
+		for j := 0; j < 5000 && !d.Drained(); j++ {
+			d.Tick(now)
+			now++
+		}
+		if !d.Drained() {
+			return false
+		}
+		total := 0
+		for _, n := range got {
+			if n != 1 {
+				return false
+			}
+			total++
+		}
+		return total == reads
+	}
+	cfgQ := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheNoPhantomHits: a lookup can only hit a line that was filled and
+// not yet displaced.
+func TestCacheNoPhantomHits(t *testing.T) {
+	f := func(fills, probes []uint8) bool {
+		c := NewCache(1024, 128, 2)
+		resident := map[uint64]bool{}
+		for _, a := range fills {
+			line := uint64(a%64) * 128
+			ev := c.Fill(line, false)
+			resident[line] = true
+			if ev.Valid {
+				if !resident[ev.LineAddr] {
+					return false // evicted something never filled
+				}
+				delete(resident, ev.LineAddr)
+			}
+		}
+		for _, a := range probes {
+			line := uint64(a%64) * 128
+			if c.Contains(line) != resident[line] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package mem
+
+// ReqKind distinguishes memory-transaction types below the core.
+type ReqKind uint8
+
+const (
+	// ReqLoad fetches one line; a response is returned to the core.
+	ReqLoad ReqKind = iota
+	// ReqStore writes through to L2; no response is returned.
+	ReqStore
+	// ReqAtomic performs a read-modify-write at L2 and returns a response.
+	ReqAtomic
+	// reqWriteBack carries a dirty L2 eviction to DRAM (internal).
+	reqWriteBack
+)
+
+// String returns a short mnemonic for the request kind.
+func (k ReqKind) String() string {
+	switch k {
+	case ReqLoad:
+		return "load"
+	case ReqStore:
+		return "store"
+	case ReqAtomic:
+		return "atomic"
+	case reqWriteBack:
+		return "wb"
+	default:
+		return "?"
+	}
+}
+
+// Request is one line-granularity memory transaction traveling between the
+// core and the memory partitions. Requests are small and passed by value
+// through queues.
+type Request struct {
+	Kind ReqKind
+	// LineAddr is the line-aligned physical address.
+	LineAddr uint64
+	// CoreID identifies the requesting SM for response routing.
+	CoreID int
+	// Token is an opaque core-side identifier tying the response back to
+	// the pending warp access. The memory system echoes it untouched.
+	Token uint32
+	// Born is the cycle the request entered the memory system, for
+	// latency accounting.
+	Born uint64
+}
+
+// Response is the completion notice delivered back to the requesting core.
+type Response struct {
+	LineAddr uint64
+	Token    uint32
+	// Atomic marks responses to atomic requests (no L1 fill on these:
+	// atomics bypass L1, Fermi-style).
+	Atomic bool
+}

@@ -1,0 +1,122 @@
+package mem
+
+import "gpusched/internal/stats"
+
+// System is the shared memory hierarchy below the cores: a request crossbar
+// to the L2/DRAM partitions and a response crossbar back. Cores inject
+// through per-core Port values (which implement Sender for their L1) and
+// drain responses with PopResponse each cycle.
+//
+// Tick order within a cycle is fixed and deterministic: partitions are
+// visited in index order, so identical configurations and workloads replay
+// identical cycle counts.
+type System struct {
+	cfg        *Config
+	partitions []*L2Partition
+	// toPart[i] carries requests to partition i (request crossbar).
+	toPart []*pipe[Request]
+	// toCore[c] carries responses back to core c (response crossbar).
+	toCore []*pipe[Response]
+}
+
+// NewSystem builds the memory system for numCores cores.
+func NewSystem(cfg *Config, numCores int) *System {
+	s := &System{cfg: cfg}
+	s.partitions = make([]*L2Partition, cfg.Partitions)
+	s.toPart = make([]*pipe[Request], cfg.Partitions)
+	for i := range s.partitions {
+		s.partitions[i] = NewL2Partition(cfg, i)
+		s.toPart[i] = newPipe[Request](cfg.XbarQueueCap, cfg.XbarLatency)
+	}
+	s.toCore = make([]*pipe[Response], numCores)
+	for c := range s.toCore {
+		// The return path is sized generously relative to request queues:
+		// responses must always drain or the hierarchy deadlocks.
+		s.toCore[c] = newPipe[Response](cfg.XbarQueueCap*cfg.Partitions, cfg.XbarLatency)
+	}
+	return s
+}
+
+// Config returns the memory configuration.
+func (s *System) Config() *Config { return s.cfg }
+
+// Port returns core coreID's injection port.
+func (s *System) Port(coreID int) Sender { return &port{sys: s, core: coreID} }
+
+type port struct {
+	sys  *System
+	core int
+}
+
+func (p *port) CanSend(lineAddr uint64) bool {
+	return p.sys.toPart[p.sys.cfg.PartitionOf(lineAddr)].CanPush()
+}
+
+func (p *port) Send(req Request, now uint64) {
+	tgt := p.sys.cfg.PartitionOf(req.LineAddr)
+	if !p.sys.toPart[tgt].Push(now, req) {
+		panic("mem: Send without CanSend")
+	}
+}
+
+// PopResponse returns the next ready response for coreID, if any.
+func (s *System) PopResponse(coreID int, now uint64) (Response, bool) {
+	q := s.toCore[coreID]
+	if !q.CanPop(now) {
+		return Response{}, false
+	}
+	return q.Pop(), true
+}
+
+// Tick advances every partition and both crossbars one cycle.
+func (s *System) Tick(now uint64) {
+	for i, p := range s.partitions {
+		in := s.toPart[i]
+		p.Tick(now, in, func(core int, resp Response) bool {
+			return s.toCore[core].Push(now, resp)
+		})
+	}
+}
+
+// Drained reports whether no requests or responses remain anywhere in the
+// hierarchy. Used by the top-level loop to detect quiescence and by tests as
+// a leak check.
+func (s *System) Drained(now uint64) bool {
+	for _, p := range s.partitions {
+		if !p.Drained() {
+			return false
+		}
+	}
+	for _, q := range s.toPart {
+		if q.Len() > 0 {
+			return false
+		}
+	}
+	for _, q := range s.toCore {
+		if q.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// L2Stats sums the per-partition L2 counters.
+func (s *System) L2Stats() stats.Cache {
+	var sum stats.Cache
+	for _, p := range s.partitions {
+		sum.Add(&p.Stats)
+	}
+	return sum
+}
+
+// DRAMStats sums the per-channel DRAM counters.
+func (s *System) DRAMStats() stats.DRAM {
+	var sum stats.DRAM
+	for _, p := range s.partitions {
+		sum.Add(p.DRAMStats())
+	}
+	return sum
+}
+
+// Partition exposes partition i for white-box tests.
+func (s *System) Partition(i int) *L2Partition { return s.partitions[i] }

@@ -1,0 +1,237 @@
+package sm
+
+// skipReason classifies why a warp could not issue this cycle, for stall
+// attribution. Reasons are evaluated in readiness order.
+type skipReason uint8
+
+const (
+	skipNone skipReason = iota
+	skipFinished
+	skipBarrier
+	skipScoreboard
+	skipStructural // LDST queue, pending table, or SFU pipe full
+)
+
+// scheduler is one warp-issue slot of an SM. It owns a disjoint subset of
+// the SM's warps and picks at most one per cycle according to the policy.
+type scheduler struct {
+	policy Policy
+	warps  []*Warp
+	// last is the most recent issuer: the greedy candidate for GTO/BAWS,
+	// the rotation origin for LRR and the two-level active set.
+	last *Warp
+	// sfuFreeAt models the per-scheduler SFU initiation interval.
+	sfuFreeAt uint64
+	// active/pending implement PolicyTwoLevel's fetch groups; unused by
+	// the other policies.
+	active     []*Warp
+	pending    []*Warp
+	activeSize int
+}
+
+// add registers a warp with this scheduler.
+func (s *scheduler) add(w *Warp) {
+	s.warps = append(s.warps, w)
+	if s.policy == PolicyTwoLevel {
+		if len(s.active) < s.activeCap() {
+			s.active = append(s.active, w)
+		} else {
+			s.pending = append(s.pending, w)
+		}
+	}
+}
+
+// remove drops a finished warp, preserving the order of the rest (LRR
+// rotation position depends on stable order).
+func (s *scheduler) remove(w *Warp) {
+	drop := func(list []*Warp) []*Warp {
+		for i, x := range list {
+			if x == w {
+				copy(list[i:], list[i+1:])
+				return list[:len(list)-1]
+			}
+		}
+		return list
+	}
+	s.warps = drop(s.warps)
+	if s.policy == PolicyTwoLevel {
+		was := len(s.active)
+		s.active = drop(s.active)
+		s.pending = drop(s.pending)
+		if len(s.active) < was && len(s.pending) > 0 {
+			// Promote the longest-waiting pending warp.
+			s.active = append(s.active, s.pending[0])
+			copy(s.pending, s.pending[1:])
+			s.pending = s.pending[:len(s.pending)-1]
+		}
+	}
+	if s.last == w {
+		s.last = nil
+	}
+}
+
+func (s *scheduler) activeCap() int {
+	if s.activeSize < 1 {
+		return 8
+	}
+	return s.activeSize
+}
+
+// ageKey returns the scheduling age of w under the policy: smaller is
+// older/higher priority. GTO ages by CTA arrival then warp dispatch order,
+// which *serializes* the CTAs of a BCS gang (the first CTA's warps strictly
+// outrank the second's). BAWS instead keys on (block age, warp index within
+// CTA, CTA index within block): the gang's CTAs interleave warp-for-warp and
+// progress in lockstep, so the lines they share are touched while still
+// resident — the point of the block-aware warp scheduler.
+func (s *scheduler) ageKey(w *Warp) (uint64, uint64, uint64) {
+	switch s.policy {
+	case PolicyBAWS:
+		idx := uint64(0)
+		if w.cta.IndexInBlock > 0 {
+			idx = uint64(w.cta.IndexInBlock)
+		}
+		return w.cta.BlockKey, uint64(w.warpInCTA), idx
+	default:
+		return w.cta.Arrival, 0, w.seq
+	}
+}
+
+func ageLess(a1, a2, a3, b1, b2, b3 uint64) bool {
+	if a1 != b1 {
+		return a1 < b1
+	}
+	if a2 != b2 {
+		return a2 < b2
+	}
+	return a3 < b3
+}
+
+// pick selects the next warp to issue. ready reports whether a warp can
+// issue right now (operands, barrier, structural); it may be called several
+// times per warp per cycle. The returned reason explains the preferred
+// warp's stall when nothing was ready.
+func (s *scheduler) pick(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
+	if len(s.warps) == 0 {
+		return nil, skipNone
+	}
+	switch s.policy {
+	case PolicyLRR:
+		return s.pickLRR(ready)
+	case PolicyTwoLevel:
+		return s.pickTwoLevel(ready)
+	default:
+		return s.pickGreedyOldest(ready)
+	}
+}
+
+// pickTwoLevel issues round-robin within the active set; when every active
+// warp is blocked, one that waits on a *memory* result is demoted and the
+// longest-waiting pending warp promoted (and issued immediately if ready).
+// ALU-latency stalls do not trigger swaps — they resolve within a few
+// cycles, which is the point of keeping a small compute-dense active set.
+func (s *scheduler) pickTwoLevel(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
+	if len(s.active) == 0 {
+		return nil, skipNone
+	}
+	start := 0
+	if s.last != nil {
+		for i, w := range s.active {
+			if w == s.last {
+				start = i + 1
+				break
+			}
+		}
+	}
+	firstReason := skipNone
+	for k := 0; k < len(s.active); k++ {
+		w := s.active[(start+k)%len(s.active)]
+		ok, reason := ready(w)
+		if ok {
+			s.last = w
+			return w, skipNone
+		}
+		if firstReason == skipNone {
+			firstReason = reason
+		}
+	}
+	// Nothing issuable: swap out one active warp blocked on a long-wait
+	// condition — a pending memory result, or a barrier (its release may
+	// depend on warps waiting in the pending set, so keeping it active
+	// would deadlock the CTA).
+	if len(s.pending) > 0 {
+		for i, w := range s.active {
+			if w.stallUntil != notReady && !w.atBarrier {
+				continue
+			}
+			promoted := s.pending[0]
+			copy(s.pending, s.pending[1:])
+			s.pending[len(s.pending)-1] = w
+			s.active[i] = promoted
+			if ok, _ := ready(promoted); ok {
+				s.last = promoted
+				return promoted, skipNone
+			}
+			break // one swap per cycle
+		}
+	}
+	return nil, firstReason
+}
+
+func (s *scheduler) pickLRR(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
+	start := 0
+	if s.last != nil {
+		for i, w := range s.warps {
+			if w == s.last {
+				start = i + 1
+				break
+			}
+		}
+	}
+	n := len(s.warps)
+	firstReason := skipNone
+	for k := 0; k < n; k++ {
+		w := s.warps[(start+k)%n]
+		ok, reason := ready(w)
+		if ok {
+			s.last = w
+			return w, skipNone
+		}
+		if firstReason == skipNone {
+			firstReason = reason
+		}
+	}
+	return nil, firstReason
+}
+
+// pickGreedyOldest implements GTO and BAWS: the last issuer goes first; if
+// it cannot issue, the oldest ready warp (by the policy's age key) wins and
+// becomes the new greedy warp.
+func (s *scheduler) pickGreedyOldest(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
+	if s.last != nil {
+		if ok, _ := ready(s.last); ok {
+			return s.last, skipNone
+		}
+	}
+	var best, oldest *Warp
+	var b1, b2, b3, o1, o2, o3 uint64
+	var oldestReason skipReason
+	for _, w := range s.warps {
+		a1, a2, a3 := s.ageKey(w)
+		ok, reason := ready(w)
+		if oldest == nil || ageLess(a1, a2, a3, o1, o2, o3) {
+			// The overall-oldest warp is the one the policy *wants* to
+			// run; its stall reason is the attribution when nothing issues.
+			oldest, o1, o2, o3 = w, a1, a2, a3
+			oldestReason = reason
+		}
+		if ok && (best == nil || ageLess(a1, a2, a3, b1, b2, b3)) {
+			best, b1, b2, b3 = w, a1, a2, a3
+		}
+	}
+	if best != nil {
+		s.last = best
+		return best, skipNone
+	}
+	return nil, oldestReason
+}

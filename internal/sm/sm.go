@@ -1,0 +1,335 @@
+package sm
+
+import (
+	"fmt"
+
+	"gpusched/internal/isa"
+	"gpusched/internal/kernel"
+	"gpusched/internal/mem"
+	"gpusched/internal/stats"
+)
+
+// SM is one streaming multiprocessor. The GPU front-end places CTAs on it
+// (subject to the resource limits it enforces), ticks it once per cycle, and
+// receives CTA-completion callbacks that drive the CTA scheduling policies.
+type SM struct {
+	id     int
+	cfg    *Config
+	memCfg *mem.Config
+
+	l1   *mem.L1
+	ldst *ldstUnit
+	sys  *mem.System
+
+	schedulers []scheduler
+	ctas       []*CTA
+	usage      kernel.Usage
+	warpSeq    uint64
+
+	// onCTADone is invoked when a resident CTA retires.
+	onCTADone func(coreID int, cta *CTA)
+
+	// Stats accumulates the core counters; KernelIssued buckets issued
+	// instructions by kernel index (sized by the GPU at construction).
+	Stats         stats.Core
+	KernelIssued  []uint64
+	memLatencySum uint64
+	memLoadsDone  uint64
+}
+
+// New builds SM id attached to the shared memory system. numKernels sizes
+// the per-kernel issue buckets.
+func New(id int, cfg *Config, sys *mem.System, numKernels int, onCTADone func(int, *CTA)) *SM {
+	s := &SM{
+		id:           id,
+		cfg:          cfg,
+		memCfg:       sys.Config(),
+		sys:          sys,
+		schedulers:   make([]scheduler, cfg.NumSchedulers),
+		onCTADone:    onCTADone,
+		KernelIssued: make([]uint64, numKernels),
+	}
+	for i := range s.schedulers {
+		s.schedulers[i].policy = cfg.WarpPolicy
+		s.schedulers[i].activeSize = cfg.ActiveSetSize
+	}
+	s.l1 = mem.NewL1(s.memCfg, id, sys.Port(id))
+	s.ldst = newLDSTUnit(s)
+	return s
+}
+
+// ID returns the core index.
+func (s *SM) ID() int { return s.id }
+
+// L1Stats exposes the L1 hit/miss counters.
+func (s *SM) L1Stats() *stats.Cache { return s.l1.CacheStats() }
+
+// AvgMemLatency returns the mean cycles from load issue to last transaction
+// completion on this core.
+func (s *SM) AvgMemLatency() float64 {
+	if s.memLoadsDone == 0 {
+		return 0
+	}
+	return float64(s.memLatencySum) / float64(s.memLoadsDone)
+}
+
+// MemLatencyRaw returns the load-latency accumulator and its count, for
+// correctly weighted cross-core means.
+func (s *SM) MemLatencyRaw() (sum, n uint64) { return s.memLatencySum, s.memLoadsDone }
+
+// SetWarpPolicy switches the warp scheduler (takes effect immediately; used
+// by experiments that compare policies, never mid-run).
+func (s *SM) SetWarpPolicy(p Policy) {
+	s.cfg.WarpPolicy = p
+	for i := range s.schedulers {
+		sched := &s.schedulers[i]
+		sched.policy = p
+		sched.active = sched.active[:0]
+		sched.pending = sched.pending[:0]
+		if p == PolicyTwoLevel {
+			for _, w := range sched.warps {
+				if len(sched.active) < sched.activeCap() {
+					sched.active = append(sched.active, w)
+				} else {
+					sched.pending = append(sched.pending, w)
+				}
+			}
+		}
+	}
+}
+
+// Usage returns the current resource footprint of resident CTAs.
+func (s *SM) Usage() kernel.Usage { return s.usage }
+
+// Limits returns the occupancy limits the core enforces.
+func (s *SM) Limits() kernel.CoreLimits { return s.cfg.Limits }
+
+// ResidentCTAs returns the number of CTAs currently on the core.
+func (s *SM) ResidentCTAs() int { return len(s.ctas) }
+
+// ResidentOf returns the number of resident CTAs belonging to kernelIdx.
+func (s *SM) ResidentOf(kernelIdx int) int {
+	n := 0
+	for _, c := range s.ctas {
+		if c.KernelIdx == kernelIdx {
+			n++
+		}
+	}
+	return n
+}
+
+// CTAs exposes the resident CTA list (probes and tests).
+func (s *SM) CTAs() []*CTA { return s.ctas }
+
+// CanAccept reports whether one more CTA of spec fits.
+func (s *SM) CanAccept(spec *kernel.Spec) bool {
+	return s.usage.Add(spec, 1).Fits(s.cfg.Limits)
+}
+
+// AddCTA places a CTA on the core. blockKey/indexInBlock carry the BCS gang
+// identity (pass now and 0 for non-gang dispatch). It panics if resources
+// are exhausted: the CTA scheduler must check CanAccept first.
+func (s *SM) AddCTA(spec *kernel.Spec, kernelIdx, ctaID int, addrBase uint64, blockKey uint64, indexInBlock int, now uint64) *CTA {
+	if !s.CanAccept(spec) {
+		panic(fmt.Sprintf("sm %d: AddCTA without capacity", s.id))
+	}
+	s.usage = s.usage.Add(spec, 1)
+	cta := &CTA{
+		Spec:         spec,
+		KernelIdx:    kernelIdx,
+		ID:           ctaID,
+		AddrBase:     addrBase,
+		Arrival:      now,
+		BlockKey:     blockKey,
+		IndexInBlock: indexInBlock,
+	}
+	nw := spec.WarpsPerCTA()
+	cta.warps = make([]*Warp, nw)
+	cta.liveWarps = nw
+	for i := 0; i < nw; i++ {
+		w := &Warp{
+			seq:       s.warpSeq,
+			cta:       cta,
+			warpInCTA: i,
+			prog:      spec.Program(ctaID, i),
+		}
+		s.warpSeq++
+		cta.warps[i] = w
+		s.leastLoadedScheduler().add(w)
+	}
+	s.ctas = append(s.ctas, cta)
+	return cta
+}
+
+func (s *SM) leastLoadedScheduler() *scheduler {
+	best := &s.schedulers[0]
+	for i := 1; i < len(s.schedulers); i++ {
+		if len(s.schedulers[i].warps) < len(best.warps) {
+			best = &s.schedulers[i]
+		}
+	}
+	return best
+}
+
+// Tick advances the core one cycle: drain memory responses, advance the
+// LDST pipeline, then let each scheduler issue one instruction.
+func (s *SM) Tick(now uint64) {
+	if len(s.ctas) > 0 || s.ldst.busy() {
+		s.Stats.ActiveCycles++
+	}
+	for {
+		resp, ok := s.sys.PopResponse(s.id, now)
+		if !ok {
+			break
+		}
+		s.ldst.onResponse(resp, now)
+	}
+	s.ldst.tick(now)
+	for i := range s.schedulers {
+		s.issueOne(&s.schedulers[i], now)
+	}
+}
+
+// issueOne runs one scheduler slot for one cycle.
+func (s *SM) issueOne(sched *scheduler, now uint64) {
+	if len(sched.warps) == 0 {
+		return
+	}
+	ready := func(w *Warp) (bool, skipReason) { return s.canIssue(sched, w, now) }
+	w, reason := sched.pick(ready)
+	if w == nil {
+		s.Stats.IssueStallCycles++
+		switch reason {
+		case skipScoreboard:
+			s.Stats.StallScoreboard++
+		case skipStructural:
+			s.Stats.StallLDSTFull++
+		case skipBarrier:
+			s.Stats.StallBarrier++
+		}
+		return
+	}
+	s.execute(sched, w, now)
+}
+
+// canIssue evaluates every issue condition for w's current instruction.
+func (s *SM) canIssue(sched *scheduler, w *Warp, now uint64) (bool, skipReason) {
+	if w.finished {
+		return false, skipFinished
+	}
+	if w.atBarrier {
+		return false, skipBarrier
+	}
+	if !w.fetch() {
+		return false, skipFinished
+	}
+	if !w.operandsReady(now) {
+		return false, skipScoreboard
+	}
+	wi := &w.cur
+	switch {
+	case wi.Op == isa.OpSfu && sched.sfuFreeAt > now:
+		return false, skipStructural
+	case wi.Op.IsMemory() && wi.Mask != 0 && !s.ldst.canAccept(wi.Op.WritesRegister()):
+		return false, skipStructural
+	}
+	return true, skipNone
+}
+
+// execute issues w's current instruction.
+func (s *SM) execute(sched *scheduler, w *Warp, now uint64) {
+	wi := &w.cur
+	w.curValid = false
+
+	s.Stats.InstrIssued++
+	s.Stats.ThreadInstr += uint64(wi.ActiveLanes())
+	w.cta.Issued++
+	if w.cta.KernelIdx < len(s.KernelIssued) {
+		s.KernelIssued[w.cta.KernelIdx]++
+	}
+
+	switch wi.Op {
+	case isa.OpNop, isa.OpBranch:
+		// Issue-slot cost only.
+	case isa.OpIAlu, isa.OpFAlu:
+		if wi.Dst != 0 {
+			w.readyAt[wi.Dst] = now + s.cfg.ALULatency
+		}
+	case isa.OpSfu:
+		if wi.Dst != 0 {
+			w.readyAt[wi.Dst] = now + s.cfg.SFULatency
+		}
+		sched.sfuFreeAt = now + s.cfg.SFUInterval
+	case isa.OpBarrier:
+		s.arriveBarrier(w)
+	case isa.OpExit:
+		s.exitWarp(sched, w, now)
+	default:
+		if !wi.Op.IsMemory() {
+			panic(fmt.Sprintf("sm: unhandled op %v", wi.Op))
+		}
+		if wi.ActiveLanes() == 0 {
+			// Fully predicated off: completes like a nop.
+			if wi.Dst != 0 && wi.Op.WritesRegister() {
+				w.readyAt[wi.Dst] = now + 1
+			}
+			return
+		}
+		s.ldst.accept(w, wi, now)
+	}
+}
+
+func (s *SM) arriveBarrier(w *Warp) {
+	w.atBarrier = true
+	cta := w.cta
+	cta.barCount++
+	if cta.barCount >= cta.liveWarps {
+		for _, x := range cta.warps {
+			x.atBarrier = false
+		}
+		cta.barCount = 0
+	}
+}
+
+func (s *SM) exitWarp(sched *scheduler, w *Warp, now uint64) {
+	w.finished = true
+	sched.remove(w)
+	cta := w.cta
+	cta.liveWarps--
+	if cta.liveWarps > 0 {
+		// A malformed kernel could leave peers waiting at a barrier this
+		// warp will never reach; release them rather than deadlock.
+		if cta.barCount >= cta.liveWarps {
+			for _, x := range cta.warps {
+				x.atBarrier = false
+			}
+			cta.barCount = 0
+		}
+		return
+	}
+	s.completeCTA(cta, now)
+}
+
+func (s *SM) completeCTA(cta *CTA, now uint64) {
+	for i, c := range s.ctas {
+		if c == cta {
+			copy(s.ctas[i:], s.ctas[i+1:])
+			s.ctas = s.ctas[:len(s.ctas)-1]
+			break
+		}
+	}
+	s.usage = kernel.Usage{}
+	for _, c := range s.ctas {
+		s.usage = s.usage.Add(c.Spec, 1)
+	}
+	s.Stats.CTAsCompleted++
+	if s.onCTADone != nil {
+		s.onCTADone(s.id, cta)
+	}
+}
+
+// Idle reports whether the core has no resident CTAs and no in-flight
+// memory work.
+func (s *SM) Idle() bool {
+	return len(s.ctas) == 0 && !s.ldst.busy()
+}

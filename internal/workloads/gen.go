@@ -1,0 +1,224 @@
+package workloads
+
+import "gpusched/internal/isa"
+
+// Emit fills buf with one instruction of a loop body at iteration iter.
+// Implementations must overwrite every field they rely on (buf is reused).
+type Emit func(buf *isa.WarpInstr, iter int)
+
+// loopProgram is the iterator shape every workload kernel uses: a prologue
+// executed once, a body repeated iters times, an epilogue, then EXIT. It
+// materializes nothing: each instruction is produced on demand from the
+// Emit closures, which capture the warp's identity and address arithmetic.
+type loopProgram struct {
+	prologue []Emit
+	body     []Emit
+	epilogue []Emit
+	iters    int
+
+	phase int // 0 prologue, 1 body, 2 epilogue, 3 exit, 4 done
+	i, j  int
+}
+
+// Next implements isa.Program.
+func (p *loopProgram) Next(buf *isa.WarpInstr) bool {
+	for {
+		switch p.phase {
+		case 0:
+			if p.j < len(p.prologue) {
+				buf.Reset()
+				p.prologue[p.j](buf, 0)
+				p.j++
+				return true
+			}
+			p.phase, p.j = 1, 0
+		case 1:
+			if p.i >= p.iters || len(p.body) == 0 {
+				p.phase, p.j = 2, 0
+				continue
+			}
+			buf.Reset()
+			p.body[p.j](buf, p.i)
+			p.j++
+			if p.j == len(p.body) {
+				p.j = 0
+				p.i++
+			}
+			return true
+		case 2:
+			if p.j < len(p.epilogue) {
+				buf.Reset()
+				p.epilogue[p.j](buf, p.i)
+				p.j++
+				return true
+			}
+			p.phase = 3
+		case 3:
+			buf.Reset()
+			buf.Op = isa.OpExit
+			buf.Mask = isa.FullMask
+			p.phase = 4
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// instrPerWarp returns the dynamic instruction count the program will emit.
+func (p *loopProgram) instrPerWarp() int {
+	return len(p.prologue) + p.iters*len(p.body) + len(p.epilogue) + 1
+}
+
+// ---- Emit constructors ----
+
+// alu emits an arithmetic op dst <- f(srcs), all lanes active.
+func alu(op isa.Op, dst isa.Reg, srcs ...isa.Reg) Emit {
+	var s [3]isa.Reg
+	copy(s[:], srcs)
+	return func(buf *isa.WarpInstr, _ int) {
+		buf.Op = op
+		buf.Dst = dst
+		buf.Src = s
+		buf.Mask = isa.FullMask
+	}
+}
+
+// aluMasked emits an arithmetic op whose active mask depends on iter
+// (divergence modeling).
+func aluMasked(op isa.Op, dst isa.Reg, mask func(iter int) uint32, srcs ...isa.Reg) Emit {
+	var s [3]isa.Reg
+	copy(s[:], srcs)
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = op
+		buf.Dst = dst
+		buf.Src = s
+		buf.Mask = mask(iter)
+	}
+}
+
+// ldg emits a perfectly-coalesced global load: lane l reads base(iter)+4l.
+func ldg(dst isa.Reg, base func(iter int) uint32) Emit {
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = isa.OpLoadGlobal
+		buf.Dst = dst
+		buf.Mask = isa.FullMask
+		isa.FillLinear(buf, base(iter), 4)
+	}
+}
+
+// ldgLanes emits a global load with arbitrary per-lane addressing.
+func ldgLanes(dst isa.Reg, addr func(iter, lane int) uint32) Emit {
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = isa.OpLoadGlobal
+		buf.Dst = dst
+		buf.Mask = isa.FullMask
+		for l := 0; l < isa.WarpSize; l++ {
+			buf.Addrs[l] = addr(iter, l)
+		}
+	}
+}
+
+// ldgMasked is ldgLanes with a per-iteration active mask.
+func ldgMasked(dst isa.Reg, mask func(iter int) uint32, addr func(iter, lane int) uint32) Emit {
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = isa.OpLoadGlobal
+		buf.Dst = dst
+		buf.Mask = mask(iter)
+		for l := 0; l < isa.WarpSize; l++ {
+			buf.Addrs[l] = addr(iter, l)
+		}
+	}
+}
+
+// stg emits a perfectly-coalesced global store of src.
+func stg(src isa.Reg, base func(iter int) uint32) Emit {
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = isa.OpStoreGlobal
+		buf.Src = [3]isa.Reg{src}
+		buf.Mask = isa.FullMask
+		isa.FillLinear(buf, base(iter), 4)
+	}
+}
+
+// lds emits a scratchpad load with the given bank-conflict degree.
+func lds(dst isa.Reg, conflict uint8) Emit {
+	return func(buf *isa.WarpInstr, _ int) {
+		buf.Op = isa.OpLoadShared
+		buf.Dst = dst
+		buf.Mask = isa.FullMask
+		buf.BankConflict = conflict
+	}
+}
+
+// sts emits a scratchpad store with the given bank-conflict degree.
+func sts(src isa.Reg, conflict uint8) Emit {
+	return func(buf *isa.WarpInstr, _ int) {
+		buf.Op = isa.OpStoreShared
+		buf.Src = [3]isa.Reg{src}
+		buf.Mask = isa.FullMask
+		buf.BankConflict = conflict
+	}
+}
+
+// stsMasked emits a masked scratchpad store (reduction trees).
+func stsMasked(src isa.Reg, mask func(iter int) uint32) Emit {
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = isa.OpStoreShared
+		buf.Src = [3]isa.Reg{src}
+		buf.Mask = mask(iter)
+		buf.BankConflict = 1
+	}
+}
+
+// atom emits a global atomic RMW with arbitrary per-lane addressing.
+func atom(dst isa.Reg, addr func(iter, lane int) uint32) Emit {
+	return func(buf *isa.WarpInstr, iter int) {
+		buf.Op = isa.OpAtomicGlobal
+		buf.Dst = dst
+		buf.Mask = isa.FullMask
+		for l := 0; l < isa.WarpSize; l++ {
+			buf.Addrs[l] = addr(iter, l)
+		}
+	}
+}
+
+// bar emits a CTA barrier.
+func bar() Emit {
+	return func(buf *isa.WarpInstr, _ int) {
+		buf.Op = isa.OpBarrier
+		buf.Mask = isa.FullMask
+	}
+}
+
+// branch emits a control instruction (issue-slot cost of the pre-lowered
+// loop back-edge).
+func branch() Emit {
+	return func(buf *isa.WarpInstr, _ int) {
+		buf.Op = isa.OpBranch
+		buf.Mask = isa.FullMask
+	}
+}
+
+// ---- deterministic pseudo-randomness ----
+
+// xs32 advances an xorshift32 state; never returns 0 for nonzero input.
+// Used instead of math/rand so instruction streams are identical across Go
+// versions and runs.
+func xs32(s uint32) uint32 {
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	return s
+}
+
+// hash2 mixes two identifiers into a nonzero seed.
+func hash2(a, b int) uint32 {
+	s := uint32(a)*0x9E3779B9 + uint32(b)*0x85EBCA6B + 1
+	return xs32(s)
+}
+
+// hash3 mixes three identifiers into a nonzero seed.
+func hash3(a, b, c int) uint32 {
+	return xs32(hash2(a, b) ^ (uint32(c)*0xC2B2AE35 + 1))
+}
