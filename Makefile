@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench paper paper-small examples clean
+.PHONY: all build test ci bench paper paper-small examples clean
 
 all: build test
 
@@ -10,6 +10,14 @@ build:
 
 test:
 	go test ./...
+
+# Mirror of .github/workflows/ci.yml: build, vet, race-enabled tests, and a
+# short fuzz smoke of the kernel-completion property.
+ci:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+	go test -run='^$$' -fuzz=FuzzKernel -fuzztime=10s .
 
 # One benchmark per reproduced table/figure plus microbenchmarks.
 bench:

@@ -57,8 +57,12 @@ func runExperiment(b *testing.B, id string, metricCol int, metricName string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	var table *harness.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		table = e.Run(benchHarness())
+		table, err = e.Run(benchHarness())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	table.Render(io.Discard)
 	if metricCol >= 0 {

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -16,44 +17,48 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctasweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sizeStr = flag.String("size", "small", "problem size: tiny | small | full")
-		warpStr = flag.String("warp", "gto", "warp scheduler: lrr | gto | baws")
-		cores   = flag.Int("cores", 15, "SM count")
+		sizeStr = fs.String("size", "small", "problem size: tiny | small | full")
+		warpStr = fs.String("warp", "gto", "warp scheduler: lrr | gto | baws")
+		cores   = fs.Int("cores", 15, "SM count")
 	)
-	flag.Parse()
-	names := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	names := fs.Args()
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ctasweep [flags] workload...")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: ctasweep [flags] workload...")
+		return 2
 	}
 
 	cfg := gpusched.DefaultConfig()
 	cfg.Cores = *cores
-	switch *warpStr {
-	case "lrr":
-		cfg.WarpPolicy = gpusched.WarpLRR
-	case "baws":
-		cfg.WarpPolicy = gpusched.WarpBAWS
-	default:
-		cfg.WarpPolicy = gpusched.WarpGTO
+	var err error
+	cfg.WarpPolicy, err = gpusched.ParseWarpPolicy(*warpStr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	size := gpusched.SizeSmall
-	switch *sizeStr {
-	case "tiny":
-		size = gpusched.SizeTiny
-	case "full":
-		size = gpusched.SizeFull
+	size, err := gpusched.ParseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	for _, name := range names {
 		w, ok := gpusched.WorkloadByName(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown workload %q\n", name)
+			return 2
 		}
-		fmt.Printf("%s (%s)\n", w.Name, w.ModeledOn)
-		fmt.Printf("  %-6s %-10s %-8s %-8s %-9s %s\n", "limit", "cycles", "IPC", "L1 hit", "DRAM q", "bar")
+		fmt.Fprintf(stdout, "%s (%s)\n", w.Name, w.ModeledOn)
+		fmt.Fprintf(stdout, "  %-6s %-10s %-8s %-8s %-9s %s\n", "limit", "cycles", "IPC", "L1 hit", "DRAM q", "bar")
 		type point struct {
 			lim    int
 			cycles uint64
@@ -64,8 +69,8 @@ func main() {
 		for lim := 1; lim <= 8; lim++ {
 			res, err := gpusched.Run(cfg, gpusched.StaticLimit(lim), w.Kernel(size))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			p := point{lim, res.Cycles, res.IPC}
 			pts = append(pts, p)
@@ -73,16 +78,17 @@ func main() {
 				best = p
 			}
 			bar := strings.Repeat("#", int(res.IPC*4+0.5))
-			fmt.Printf("  %-6d %-10d %-8.2f %-8s %-9.0f %s\n",
+			fmt.Fprintf(stdout, "  %-6d %-10d %-8.2f %-8s %-9.0f %s\n",
 				lim, res.Cycles, res.IPC,
 				fmt.Sprintf("%.1f%%", res.L1HitRate*100), res.AvgDRAMQueue, bar)
 			if lim > 1 && pts[len(pts)-1].cycles == pts[len(pts)-2].cycles {
-				fmt.Printf("  (occupancy limit reached at %d CTAs/SM)\n", lim-1)
+				fmt.Fprintf(stdout, "  (occupancy limit reached at %d CTAs/SM)\n", lim-1)
 				break
 			}
 		}
 		lastIPC := pts[len(pts)-1].ipc
-		fmt.Printf("  best: %d CTAs/SM at IPC %.2f (%.1f%% over max occupancy)\n\n",
+		fmt.Fprintf(stdout, "  best: %d CTAs/SM at IPC %.2f (%.1f%% over max occupancy)\n\n",
 			best.lim, best.ipc, (best.ipc/lastIPC-1)*100)
 	}
+	return 0
 }

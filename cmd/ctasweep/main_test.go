@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresWorkloads(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("run() = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage") {
+		t.Errorf("stderr %q missing usage line", errb.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-size", "nope", "vadd"},
+		{"-warp", "nope", "vadd"},
+		{"no-such-workload"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestSweepTinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-size", "tiny", "-cores", "4", "vadd"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	for _, want := range []string{"vadd", "limit", "best:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sweep output missing %q in:\n%s", want, out.String())
+		}
+	}
+}

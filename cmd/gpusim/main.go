@@ -10,75 +10,66 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"gpusched"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpusim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "vadd", "workload name (see -list)")
-		schedStr = flag.String("sched", "baseline", "CTA scheduler: baseline | lcs | adaptive | bcs[:N] | static:N | sequential")
-		warpStr  = flag.String("warp", "gto", "warp scheduler: lrr | gto | baws")
-		sizeStr  = flag.String("size", "small", "problem size: tiny | small | full")
-		cores    = flag.Int("cores", 15, "SM count")
-		list     = flag.Bool("list", false, "list workloads and exit")
-		traceOut = flag.String("trace", "", "write a per-epoch timeline CSV to this file")
-		epoch    = flag.Uint64("epoch", 1024, "trace sampling period in cycles")
+		workload = fs.String("workload", "vadd", "workload name (see -list)")
+		schedStr = fs.String("sched", "baseline", "CTA scheduler: baseline | lcs | adaptive | bcs[:N] | static:N | sequential")
+		warpStr  = fs.String("warp", "gto", "warp scheduler: lrr | gto | baws")
+		sizeStr  = fs.String("size", "small", "problem size: tiny | small | full")
+		cores    = fs.Int("cores", 15, "SM count")
+		list     = fs.Bool("list", false, "list workloads and exit")
+		traceOut = fs.String("trace", "", "write a per-epoch timeline CSV to this file")
+		epoch    = fs.Uint64("epoch", 1024, "trace sampling period in cycles")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Printf("%-14s %-8s %-10s %s\n", "name", "class", "inter-CTA", "modeled on")
+		fmt.Fprintf(stdout, "%-14s %-8s %-10s %s\n", "name", "class", "inter-CTA", "modeled on")
 		for _, w := range gpusched.Workloads() {
 			loc := ""
 			if w.InterCTALocality {
 				loc = "yes"
 			}
-			fmt.Printf("%-14s %-8s %-10s %s\n", w.Name, w.Class, loc, w.ModeledOn)
+			fmt.Fprintf(stdout, "%-14s %-8s %-10s %s\n", w.Name, w.Class, loc, w.ModeledOn)
 		}
-		return
+		return 0
 	}
 
 	w, ok := gpusched.WorkloadByName(*workload)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown workload %q (use -list)\n", *workload)
+		return 2
 	}
-
-	var size gpusched.Size
-	switch *sizeStr {
-	case "tiny":
-		size = gpusched.SizeTiny
-	case "small":
-		size = gpusched.SizeSmall
-	case "full":
-		size = gpusched.SizeFull
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeStr)
-		os.Exit(2)
+	size, err := gpusched.ParseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-
 	cfg := gpusched.DefaultConfig()
 	cfg.Cores = *cores
-	switch *warpStr {
-	case "lrr":
-		cfg.WarpPolicy = gpusched.WarpLRR
-	case "gto":
-		cfg.WarpPolicy = gpusched.WarpGTO
-	case "baws":
-		cfg.WarpPolicy = gpusched.WarpBAWS
-	default:
-		fmt.Fprintf(os.Stderr, "unknown warp policy %q\n", *warpStr)
-		os.Exit(2)
-	}
-
-	sched, err := parseSched(*schedStr)
+	cfg.WarpPolicy, err = gpusched.ParseWarpPolicy(*warpStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	sched, err := gpusched.ParseScheduler(*schedStr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	var res gpusched.Result
@@ -86,74 +77,41 @@ func main() {
 		var tl *gpusched.Timeline
 		res, tl, err = gpusched.RunTraced(cfg, sched, *epoch, w.Kernel(size))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
+			fmt.Fprintln(stderr, ferr)
+			return 1
 		}
 		if err := tl.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		f.Close()
-		fmt.Printf("timeline        %d samples -> %s (peak IPC %.2f, mean resident CTAs %.1f)\n",
+		fmt.Fprintf(stdout, "timeline        %d samples -> %s (peak IPC %.2f, mean resident CTAs %.1f)\n",
 			len(tl.Samples), *traceOut, tl.PeakIPC(), tl.MeanResident())
 	} else {
 		res, err = gpusched.Run(cfg, sched, w.Kernel(size))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
 	k := w.Kernel(size)
-	fmt.Printf("workload        %s (%s), %d CTAs x %d threads\n", w.Name, w.ModeledOn, k.CTAs(), k.ThreadsPerCTA())
-	fmt.Printf("scheduler       %s CTA dispatch, %s warps, %d SMs\n", sched.Name(), *warpStr, *cores)
-	fmt.Printf("cycles          %d (timed out: %v)\n", res.Cycles, res.TimedOut)
-	fmt.Printf("instructions    %d warp (%d thread), IPC %.3f\n", res.InstrIssued, res.ThreadInstr, res.IPC)
-	fmt.Printf("L1              %.1f%% hit, %.1f%% merged into in-flight fills\n", res.L1HitRate*100, res.L1MergeRate*100)
-	fmt.Printf("L2              %.1f%% hit\n", res.L2HitRate*100)
-	fmt.Printf("DRAM            %d reads, %d writes, %.1f%% row hits, %.0f-cycle avg queue\n",
+	fmt.Fprintf(stdout, "workload        %s (%s), %d CTAs x %d threads\n", w.Name, w.ModeledOn, k.CTAs(), k.ThreadsPerCTA())
+	fmt.Fprintf(stdout, "scheduler       %s CTA dispatch, %s warps, %d SMs\n", sched.Name(), *warpStr, *cores)
+	fmt.Fprintf(stdout, "cycles          %d (timed out: %v)\n", res.Cycles, res.TimedOut)
+	fmt.Fprintf(stdout, "instructions    %d warp (%d thread), IPC %.3f\n", res.InstrIssued, res.ThreadInstr, res.IPC)
+	fmt.Fprintf(stdout, "L1              %.1f%% hit, %.1f%% merged into in-flight fills\n", res.L1HitRate*100, res.L1MergeRate*100)
+	fmt.Fprintf(stdout, "L2              %.1f%% hit\n", res.L2HitRate*100)
+	fmt.Fprintf(stdout, "DRAM            %d reads, %d writes, %.1f%% row hits, %.0f-cycle avg queue\n",
 		res.DRAMReads, res.DRAMWrites, res.DRAMRowHitRate*100, res.AvgDRAMQueue)
-	fmt.Printf("load latency    %.0f cycles avg\n", res.AvgMemLatency)
+	fmt.Fprintf(stdout, "load latency    %.0f cycles avg\n", res.AvgMemLatency)
 	if res.CTALimits != nil {
-		fmt.Printf("LCS limits      %v\n", res.CTALimits)
+		fmt.Fprintf(stdout, "LCS limits      %v\n", res.CTALimits)
 	}
-}
-
-func parseSched(s string) (gpusched.Scheduler, error) {
-	name, argStr, hasArg := strings.Cut(s, ":")
-	arg := 0
-	if hasArg {
-		v, err := strconv.Atoi(argStr)
-		if err != nil {
-			return gpusched.Scheduler{}, fmt.Errorf("bad scheduler argument %q", argStr)
-		}
-		arg = v
-	}
-	switch name {
-	case "baseline":
-		return gpusched.Baseline(), nil
-	case "lcs":
-		return gpusched.LCS(), nil
-	case "adaptive":
-		return gpusched.AdaptiveLCS(), nil
-	case "bcs":
-		if arg == 0 {
-			arg = 2
-		}
-		return gpusched.BCS(arg), nil
-	case "static":
-		if !hasArg {
-			return gpusched.Scheduler{}, fmt.Errorf("static needs a limit, e.g. static:3")
-		}
-		return gpusched.StaticLimit(arg), nil
-	case "sequential":
-		return gpusched.Sequential(), nil
-	default:
-		return gpusched.Scheduler{}, fmt.Errorf("unknown scheduler %q", name)
-	}
+	return 0
 }

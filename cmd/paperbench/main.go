@@ -5,50 +5,82 @@
 //	paperbench -scale small     # quicker, smaller grids
 //	paperbench -exp fig5,fig8   # a subset
 //	paperbench -list            # enumerate experiments
+//
+// Simulation results persist under <out>/.simcache by default, so a rerun
+// (or a second experiment subset sharing runs with the first) skips
+// completed simulations. Failed experiments are reported on stderr and the
+// process exits non-zero, but the remaining experiments still run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"gpusched/internal/harness"
-	"gpusched/internal/workloads"
+	"gpusched/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// resolveCacheDir maps the -cache flag to a directory: "auto" places the
+// cache inside the CSV output directory (no caching when CSVs are off),
+// "off"/"" disables it, anything else is used verbatim.
+func resolveCacheDir(cache, outDir string) string {
+	switch cache {
+	case "off", "":
+		return ""
+	case "auto":
+		if outDir == "" {
+			return ""
+		}
+		return filepath.Join(outDir, ".simcache")
+	default:
+		return cache
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
-		scale    = flag.String("scale", "full", "problem scale: small | full")
-		outDir   = flag.String("out", "results", "directory for CSV output ('' = none)")
-		cores    = flag.Int("cores", 0, "override SM count (0 = default 15)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		progress = flag.Bool("v", false, "log each simulation run")
+		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (or 'all')")
+		scale     = fs.String("scale", "full", "problem scale: "+sim.ScaleFlagHelp)
+		outDir    = fs.String("out", "results", "directory for CSV output ('' = none)")
+		cacheFlag = fs.String("cache", "auto", "simulation cache dir: auto = <out>/.simcache, off = disabled")
+		cores     = fs.Int("cores", 0, "override SM count (0 = default 15)")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		progress  = fs.Bool("v", false, "log each simulation run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 
-	opt := harness.Options{Scale: workloads.ScaleFull, Cores: *cores}
-	switch *scale {
-	case "small":
-		opt.Scale = workloads.ScaleSmall
-	case "full":
-		opt.Scale = workloads.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want small|full)\n", *scale)
-		os.Exit(2)
+	scaleVal, err := sim.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	opt := harness.Options{
+		Scale:    scaleVal,
+		Cores:    *cores,
+		CacheDir: resolveCacheDir(*cacheFlag, *outDir),
 	}
 	if *progress {
-		opt.Progress = os.Stderr
+		opt.Progress = stderr
 	}
 
 	var selected []harness.Experiment
@@ -58,31 +90,50 @@ func main() {
 		for _, id := range strings.Split(*expFlag, ",") {
 			e, ok := harness.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
 	h := harness.New(opt)
+	var failures []string
 	for _, e := range selected {
 		start := time.Now()
-		table := e.Run(h)
-		table.Render(os.Stdout)
-		fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		table, err := e.Run(h)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
+			fmt.Fprintf(stderr, "error: %s: %v\n", e.ID, err)
+			continue
+		}
+		table.Render(stdout)
+		fmt.Fprintf(stdout, "  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := writeCSV(*outDir, e.ID, table); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
-			f, err := os.Create(filepath.Join(*outDir, e.ID+".csv"))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			table.CSV(f)
-			f.Close()
 		}
 	}
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "\n%d of %d experiments failed:\n", len(failures), len(selected))
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "  %s\n", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+func writeCSV(dir, id string, table *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	table.CSV(f)
+	return f.Close()
 }

@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"gpusched"
 )
@@ -44,7 +46,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lcs, err := gpusched.Run(cfg, gpusched.LCS(), saxpy)
+	// RunContext honors cancellation: a deadline (or Ctrl-C wiring) stops
+	// the cycle loop mid-simulation instead of running to completion.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	lcs, err := gpusched.RunContext(ctx, cfg, gpusched.LCS(), saxpy)
 	if err != nil {
 		log.Fatal(err)
 	}

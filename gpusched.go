@@ -26,12 +26,13 @@
 package gpusched
 
 import (
-	"fmt"
+	"context"
 
 	"gpusched/internal/core"
 	"gpusched/internal/gpu"
 	"gpusched/internal/kernel"
 	"gpusched/internal/mem"
+	"gpusched/internal/sim"
 	"gpusched/internal/sm"
 	"gpusched/internal/stats"
 	"gpusched/internal/trace"
@@ -69,6 +70,42 @@ func (p WarpPolicy) internal() sm.Policy {
 		return sm.PolicyTwoLevel
 	default:
 		return sm.PolicyGTO
+	}
+}
+
+// ParseWarpPolicy parses a warp-scheduler name ("lrr", "gto", "baws",
+// "two-level") via the shared internal/sim parser.
+func ParseWarpPolicy(s string) (WarpPolicy, error) {
+	p, err := sim.ParseWarpPolicy(s)
+	if err != nil {
+		return 0, err
+	}
+	switch p {
+	case sm.PolicyLRR:
+		return WarpLRR, nil
+	case sm.PolicyBAWS:
+		return WarpBAWS, nil
+	case sm.PolicyTwoLevel:
+		return WarpTwoLevel, nil
+	default:
+		return WarpGTO, nil
+	}
+}
+
+// ParseSize parses a problem-scale name ("tiny", "small", "full") via the
+// shared internal/sim parser.
+func ParseSize(s string) (Size, error) {
+	sc, err := sim.ParseScale(s)
+	if err != nil {
+		return 0, err
+	}
+	switch sc {
+	case workloads.ScaleTest:
+		return SizeTiny, nil
+	case workloads.ScaleFull:
+		return SizeFull, nil
+	default:
+		return SizeSmall, nil
 	}
 }
 
@@ -125,99 +162,58 @@ func (c Config) build() gpu.Config {
 	return g
 }
 
-// Scheduler is a CTA scheduling policy plus its parameters. Construct with
-// Baseline, LCS, AdaptiveLCS, BCS, StaticLimit, Sequential, SpatialCKE, or
-// MixedCKE.
+// Scheduler is a CTA scheduling policy plus its parameters — a thin facade
+// over the typed internal/sim scheduler registry. Construct with Baseline,
+// LCS, AdaptiveLCS, DynCTA, BCS, StaticLimit, Sequential, SpatialCKE,
+// MixedCKE, or ParseScheduler.
 type Scheduler struct {
-	name string
-	make func() core.Dispatcher
-	// lcsProbe, when non-nil after a Run, yields the per-core limits the
-	// policy decided (LCS family only).
-	lcsProbe func(core.Dispatcher) []int
+	spec sim.SchedSpec
 }
 
 // Name returns the policy's short identifier.
-func (s Scheduler) Name() string { return s.name }
+func (s Scheduler) Name() string { return s.spec.Name() }
+
+// ParseScheduler parses the scheduler DSL ("lcs", "bcs:4", "static:3", ...)
+// shared by every CLI tool. See internal/sim for the grammar.
+func ParseScheduler(s string) (Scheduler, error) {
+	spec, err := sim.ParseSched(s)
+	if err != nil {
+		return Scheduler{}, err
+	}
+	return Scheduler{spec: spec}, nil
+}
 
 // Baseline is occupancy-maximal round-robin CTA dispatch.
-func Baseline() Scheduler {
-	return Scheduler{name: "baseline", make: func() core.Dispatcher { return core.NewRoundRobin() }}
-}
+func Baseline() Scheduler { return Scheduler{spec: sim.Baseline()} }
 
 // LCS is the paper's lazy CTA scheduling (pair with WarpGTO).
-func LCS() Scheduler {
-	return Scheduler{
-		name: "lcs",
-		make: func() core.Dispatcher { return core.NewLCS() },
-		lcsProbe: func(d core.Dispatcher) []int {
-			return d.(*core.LCS).Limits()
-		},
-	}
-}
+func LCS() Scheduler { return Scheduler{spec: sim.LCS()} }
 
 // AdaptiveLCS is LCS plus the rate-guarded probing descent.
-func AdaptiveLCS() Scheduler {
-	return Scheduler{
-		name: "lcs-adaptive",
-		make: func() core.Dispatcher { return core.NewAdaptiveLCS() },
-		lcsProbe: func(d core.Dispatcher) []int {
-			return d.(*core.AdaptiveLCS).Limits()
-		},
-	}
-}
+func AdaptiveLCS() Scheduler { return Scheduler{spec: sim.AdaptiveLCS()} }
 
 // DynCTA is the prior-work feedback throttler (Kayiran et al. style) the
 // paper's LCS is contrasted with.
-func DynCTA() Scheduler {
-	return Scheduler{
-		name: "dyncta",
-		make: func() core.Dispatcher { return core.NewDynCTA() },
-		lcsProbe: func(d core.Dispatcher) []int {
-			return d.(*core.DynCTA).Limits()
-		},
-	}
-}
+func DynCTA() Scheduler { return Scheduler{spec: sim.DynCTA()} }
 
 // BCS dispatches gangs of blockSize consecutive CTAs to one SM (pair with
 // WarpBAWS for the paper's full mechanism).
-func BCS(blockSize int) Scheduler {
-	return Scheduler{name: "bcs", make: func() core.Dispatcher {
-		b := core.NewBCS()
-		if blockSize > 0 {
-			b.BlockSize = blockSize
-		}
-		return b
-	}}
-}
+func BCS(blockSize int) Scheduler { return Scheduler{spec: sim.BCS(blockSize)} }
 
 // StaticLimit caps every SM at limit resident CTAs of the first kernel —
 // the oracle-sweep building block.
-func StaticLimit(limit int) Scheduler {
-	return Scheduler{name: fmt.Sprintf("static-%d", limit), make: func() core.Dispatcher {
-		return core.NewLimited(limit)
-	}}
-}
+func StaticLimit(limit int) Scheduler { return Scheduler{spec: sim.Static(limit)} }
 
 // Sequential runs launched kernels one at a time (no CKE).
-func Sequential() Scheduler {
-	return Scheduler{name: "sequential", make: func() core.Dispatcher { return core.NewSequential() }}
-}
+func Sequential() Scheduler { return Scheduler{spec: sim.Sequential()} }
 
 // SpatialCKE partitions the SMs between two kernels (coresForFirst = 0
 // means an even split).
-func SpatialCKE(coresForFirst int) Scheduler {
-	return Scheduler{name: "spatial", make: func() core.Dispatcher {
-		s := core.NewSpatial()
-		s.CoresForA = coresForFirst
-		return s
-	}}
-}
+func SpatialCKE(coresForFirst int) Scheduler { return Scheduler{spec: sim.Spatial(coresForFirst)} }
 
 // MixedCKE co-schedules two kernels on every SM, capping the first at
 // limitA CTAs per core (normally an LCS/AdaptiveLCS decision).
-func MixedCKE(limitA int) Scheduler {
-	return Scheduler{name: "mixed", make: func() core.Dispatcher { return core.NewMixed(limitA) }}
-}
+func MixedCKE(limitA int) Scheduler { return Scheduler{spec: sim.Mixed(limitA)} }
 
 // KernelStats describes one kernel's outcome.
 type KernelStats struct {
@@ -267,16 +263,25 @@ func (r Result) Speedup(base Result) float64 {
 // Run simulates kernels (in launch order) under the scheduler and returns
 // the result.
 func Run(cfg Config, sched Scheduler, kernels ...Kernel) (Result, error) {
+	return RunContext(context.Background(), cfg, sched, kernels...)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// the cycle loop stops mid-flight and ctx's error is returned.
+func RunContext(ctx context.Context, cfg Config, sched Scheduler, kernels ...Kernel) (Result, error) {
 	specs := make([]*kernel.Spec, len(kernels))
 	for i, k := range kernels {
 		specs[i] = k.spec
 	}
-	d := sched.make()
+	d := sched.spec.NewDispatcher()
 	g, err := gpu.New(cfg.build(), d, specs...)
 	if err != nil {
 		return Result{}, err
 	}
-	raw := g.Run()
+	raw, err := g.RunContext(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	return resultFrom(raw, sched, d), nil
 }
 
@@ -308,8 +313,7 @@ func resultFrom(raw gpu.Result, sched Scheduler, d core.Dispatcher) Result {
 			CTAs:        k.CTAs,
 		})
 	}
-	if sched.lcsProbe != nil {
-		limits := sched.lcsProbe(d)
+	if limits, ok := sched.spec.Limits(d); ok {
 		res.CTALimits = append([]int(nil), limits...)
 	}
 	return res
@@ -339,7 +343,7 @@ func RunTraced(cfg Config, sched Scheduler, epoch uint64, kernels ...Kernel) (Re
 	for i, k := range kernels {
 		specs[i] = k.spec
 	}
-	d := sched.make()
+	d := sched.spec.NewDispatcher()
 	g, err := gpu.New(cfg.build(), d, specs...)
 	if err != nil {
 		return Result{}, nil, err

@@ -5,6 +5,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"gpusched/internal/core"
@@ -170,11 +171,32 @@ func (g *GPU) onCTADone(coreID int, cta *sm.CTA) {
 // Run simulates to completion (or MaxCycles) and returns the result.
 // A GPU is single-shot: Run must be called once.
 func (g *GPU) Run() Result {
+	res, _ := g.RunContext(context.Background())
+	return res
+}
+
+// ctxCheckInterval is how often (in cycles) RunContext polls for
+// cancellation — rare enough to keep the cycle loop hot, frequent enough
+// that cancellation lands within microseconds of wall time.
+const ctxCheckInterval = 4096
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// the cycle loop stops mid-flight and the context's error is returned
+// alongside the partial result.
+func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 20_000_000
 	}
+	done := ctx.Done()
 	for g.doneCount < len(g.kernels) && g.now < maxCycles {
+		if done != nil && g.now%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return g.collect(), ctx.Err()
+			default:
+			}
+		}
 		if g.epochFn != nil && g.now%g.epochEvery == 0 {
 			g.epochFn(g.now)
 		}
@@ -185,7 +207,7 @@ func (g *GPU) Run() Result {
 		g.memsys.Tick(g.now)
 		g.now++
 	}
-	return g.collect()
+	return g.collect(), nil
 }
 
 func (g *GPU) collect() Result {

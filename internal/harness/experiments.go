@@ -6,6 +6,7 @@ import (
 
 	"gpusched/internal/gpu"
 	"gpusched/internal/mem"
+	"gpusched/internal/sim"
 	"gpusched/internal/sm"
 	"gpusched/internal/stats"
 	"gpusched/internal/workloads"
@@ -34,7 +35,7 @@ var ckePairs = [][2]string{
 
 // Table1Config reports the simulated GPU configuration [reconstructed:
 // Fermi/GTX480-class, the standard HPCA'14 GPGPU-Sim setup].
-func (h *Harness) Table1Config() *Table {
+func (h *Harness) Table1Config() (*Table, error) {
 	g := gpu.DefaultConfig()
 	m := mem.DefaultConfig()
 	c := sm.DefaultConfig()
@@ -59,17 +60,18 @@ func (h *Harness) Table1Config() *Table {
 		ID: "table1", Title: "Simulated GPU configuration",
 		Headers: []string{"parameter", "value"},
 		Rows:    rows,
-	}
+	}, nil
 }
 
 // Table2Characteristics reports the benchmark suite: shape, occupancy, and
 // measured memory character under the baseline.
-func (h *Harness) Table2Characteristics() *Table {
-	var specs []runSpec
+func (h *Harness) Table2Characteristics() (*Table, error) {
+	r := h.resolve()
+	var reqs []sim.Request
 	for _, w := range workloads.All() {
-		specs = append(specs, runSpec{names: []string{w.Name}, sched: "base", policy: sm.PolicyGTO})
+		reqs = append(reqs, h.single(w.Name, sim.Baseline(), sm.PolicyGTO))
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "table2", Title: "Benchmark characteristics",
 		Headers: []string{"workload", "modeled on", "class", "CTAs", "thr/CTA", "max CTA/SM", "bound-by", "IPC", "L1 hit", "inter-CTA"},
@@ -77,7 +79,10 @@ func (h *Harness) Table2Characteristics() *Table {
 	for _, w := range workloads.All() {
 		spec := w.Build(h.opt.Scale)
 		maxRes, binding := sm.DefaultConfig().Limits.MaxResident(spec)
-		r := h.run(runSpec{names: []string{w.Name}, sched: "base", policy: sm.PolicyGTO}).res
+		res := r.get(h.single(w.Name, sim.Baseline(), sm.PolicyGTO)).Result
+		if r.err != nil {
+			return nil, r.err
+		}
 		loc := ""
 		if w.InterCTALocality {
 			loc = "yes"
@@ -86,31 +91,32 @@ func (h *Harness) Table2Characteristics() *Table {
 			w.Name, w.ModeledOn, string(w.Class),
 			fmt.Sprint(spec.NumCTAs()), fmt.Sprint(spec.ThreadsPerCTA()),
 			fmt.Sprint(maxRes), binding,
-			fmt.Sprintf("%.2f", r.IPC), pct(r.L1.HitRate()), loc,
+			fmt.Sprintf("%.2f", res.IPC), pct(res.L1.HitRate()), loc,
 		})
 	}
-	return t
+	return t, r.err
 }
 
 // Fig3CTASweep is the motivation figure: normalized IPC as the per-SM CTA
 // limit sweeps from 1 to the occupancy maximum. The paper's observation —
 // the maximum CTA count does not maximize performance — appears as curves
 // peaking below the right edge.
-func (h *Harness) Fig3CTASweep() *Table {
-	var specs []runSpec
+func (h *Harness) Fig3CTASweep() (*Table, error) {
+	r := h.resolve()
+	var reqs []sim.Request
 	for _, name := range fig3Set {
 		for lim := 1; lim <= h.maxResident(name); lim++ {
-			specs = append(specs, runSpec{names: []string{name}, sched: fmt.Sprintf("static:%d", lim), policy: sm.PolicyGTO})
+			reqs = append(reqs, h.single(name, sim.Static(lim), sm.PolicyGTO))
 		}
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig3", Title: "Normalized IPC vs. CTAs-per-SM limit (GTO)",
 		Headers: []string{"workload", "1", "2", "3", "4", "5", "6", "7", "8", "best@"},
 	}
 	for _, name := range fig3Set {
 		maxRes := h.maxResident(name)
-		baseCycles := h.run(runSpec{names: []string{name}, sched: fmt.Sprintf("static:%d", maxRes), policy: sm.PolicyGTO}).res.Cycles
+		baseCycles := r.get(h.single(name, sim.Static(maxRes), sm.PolicyGTO)).Result.Cycles
 		row := []string{name}
 		best, bestLim := 0.0, 0
 		for lim := 1; lim <= 8; lim++ {
@@ -118,8 +124,11 @@ func (h *Harness) Fig3CTASweep() *Table {
 				row = append(row, "-")
 				continue
 			}
-			r := h.run(runSpec{names: []string{name}, sched: fmt.Sprintf("static:%d", lim), policy: sm.PolicyGTO}).res
-			norm := speedup(baseCycles, r.Cycles)
+			res := r.get(h.single(name, sim.Static(lim), sm.PolicyGTO)).Result
+			if r.err != nil {
+				return nil, r.err
+			}
+			norm := speedup(baseCycles, res.Cycles)
 			if norm > best {
 				best, bestLim = norm, lim
 			}
@@ -131,19 +140,22 @@ func (h *Harness) Fig3CTASweep() *Table {
 			t.Notes = append(t.Notes, fmt.Sprintf("%s peaks at %d of %d CTAs/SM (%.0f%% over max occupancy)", name, bestLim, maxRes, (best-1)*100))
 		}
 	}
-	return t
+	return t, r.err
 }
 
 // Fig4IssueShare shows the per-CTA issued-instruction share on core 0 when
 // its first CTA completes — the histogram LCS reads. GTO concentrates issue
 // on older CTAs; the total/greedy ratio is the LCS decision.
-func (h *Harness) Fig4IssueShare() *Table {
+func (h *Harness) Fig4IssueShare() (*Table, error) {
 	t := &Table{
 		ID: "fig4", Title: "Per-CTA issue share at sampling-epoch end (GTO, core 0)",
 		Headers: []string{"workload", "shares oldest..youngest (%)", "total/greedy", "LCS nOpt"},
 	}
 	for _, name := range []string{"sgemm", "blackscholes", "spmv", "stencil", "vadd", "bfs"} {
-		hist, ratio := h.issueHistogram(name)
+		hist, ratio, err := h.issueHistogram(name)
+		if err != nil {
+			return nil, err
+		}
 		if len(hist) == 0 {
 			continue
 		}
@@ -167,21 +179,27 @@ func (h *Harness) Fig4IssueShare() *Table {
 	t.Notes = append(t.Notes,
 		"compute-bound kernels concentrate issue in the oldest CTAs (small ratio);",
 		"latency-bound kernels spread issue almost evenly (ratio near occupancy)")
-	return t
+	return t, nil
 }
 
 // issueHistogram runs a workload under the baseline and captures core 0's
-// per-CTA issue counts at its first CTA completion (not memoized: needs an
-// observer).
-func (h *Harness) issueHistogram(name string) ([]float64, float64) {
+// per-CTA issue counts at its first CTA completion. It needs an observer on
+// the live GPU, so it bypasses the service memo and builds the simulation
+// directly from the request's pieces.
+func (h *Harness) issueHistogram(name string) ([]float64, float64, error) {
+	req := h.single(name, sim.Baseline(), sm.PolicyGTO)
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("harness: unknown workload %q", name)
+	}
 	cfg := gpu.DefaultConfig()
 	if h.opt.Cores > 0 {
 		cfg.NumCores = h.opt.Cores
 	}
 	cfg.Core.WarpPolicy = sm.PolicyGTO
-	g, err := gpu.New(cfg, h.dispatcher("base"), h.buildKernels([]string{name})...)
+	g, err := gpu.New(cfg, req.Sched.NewDispatcher(), w.Build(h.opt.Scale))
 	if err != nil {
-		panic(err)
+		return nil, 0, fmt.Errorf("harness: %s: %w", name, err)
 	}
 	var hist []float64
 	done := false
@@ -201,31 +219,32 @@ func (h *Harness) issueHistogram(name string) ([]float64, float64) {
 	})
 	g.Run()
 	if len(hist) == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	total := 0.0
 	for _, v := range hist {
 		total += v
 	}
-	return hist, total / hist[0]
+	return hist, total / hist[0], nil
 }
 
 // Fig5LCS is the headline LCS figure: speedup over the max-occupancy GTO
 // baseline for LCS, the adaptive extension, and the oracle static limit.
-func (h *Harness) Fig5LCS() *Table {
+func (h *Harness) Fig5LCS() (*Table, error) {
+	r := h.resolve()
 	names := workloads.Names()
-	var specs []runSpec
+	var reqs []sim.Request
 	for _, n := range names {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.LCS(), sm.PolicyGTO),
+			h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO),
 		)
 		for lim := 1; lim <= h.maxResident(n); lim++ {
-			specs = append(specs, runSpec{names: []string{n}, sched: fmt.Sprintf("static:%d", lim), policy: sm.PolicyGTO})
+			reqs = append(reqs, h.single(n, sim.Static(lim), sm.PolicyGTO))
 		}
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig5", Title: "LCS speedup over max-occupancy GTO baseline",
 		Headers: []string{"workload", "LCS", "LCS-adaptive", "oracle static", "oracle limit"},
@@ -237,10 +256,13 @@ func (h *Harness) Fig5LCS() *Table {
 		inMemSet[n] = true
 	}
 	for _, n := range names {
-		base := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res.Cycles
-		lcs := speedup(base, h.run(runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO}).res.Cycles)
-		ad := speedup(base, h.run(runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO}).res.Cycles)
-		orBest, orLim := h.oracle(n)
+		base := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result.Cycles
+		lcs := speedup(base, r.get(h.single(n, sim.LCS(), sm.PolicyGTO)).Result.Cycles)
+		ad := speedup(base, r.get(h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO)).Result.Cycles)
+		orBest, orLim := h.oracle(r, n)
+		if r.err != nil {
+			return nil, r.err
+		}
 		lcsAll, adAll, orAll = append(lcsAll, lcs), append(adAll, ad), append(orAll, orBest)
 		if inMemSet[n] {
 			lcsMem, adMem, orMem = append(lcsMem, lcs), append(adMem, ad), append(orMem, orBest)
@@ -264,16 +286,19 @@ func (h *Harness) Fig5LCS() *Table {
 		fmt.Sprintf("%.3f", stats.GeoMean(orAll)),
 		"",
 	})
-	return t
+	return t, r.err
 }
 
 // oracle returns the best static-limit speedup for a workload and its limit.
-func (h *Harness) oracle(name string) (float64, int) {
-	base := h.run(runSpec{names: []string{name}, sched: "base", policy: sm.PolicyGTO}).res.Cycles
+func (h *Harness) oracle(r *resolver, name string) (float64, int) {
+	base := r.get(h.single(name, sim.Baseline(), sm.PolicyGTO)).Result.Cycles
 	best, bestLim := 0.0, 0
 	for lim := 1; lim <= h.maxResident(name); lim++ {
-		r := h.run(runSpec{names: []string{name}, sched: fmt.Sprintf("static:%d", lim), policy: sm.PolicyGTO}).res
-		if s := speedup(base, r.Cycles); s > best {
+		res := r.get(h.single(name, sim.Static(lim), sm.PolicyGTO)).Result
+		if r.err != nil {
+			return 0, 0
+		}
+		if s := speedup(base, res.Cycles); s > best {
 			best, bestLim = s, lim
 		}
 	}
@@ -283,22 +308,26 @@ func (h *Harness) oracle(name string) (float64, int) {
 // Fig6LCSMemory explains the LCS wins: L1 miss rate, DRAM queueing, and
 // load latency under baseline vs. the adaptive throttle on the
 // memory-intensive subset.
-func (h *Harness) Fig6LCSMemory() *Table {
-	var specs []runSpec
+func (h *Harness) Fig6LCSMemory() (*Table, error) {
+	r := h.resolve()
+	var reqs []sim.Request
 	for _, n := range memSet {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO),
 		)
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig6", Title: "Why throttling helps: memory system under baseline vs LCS-adaptive",
 		Headers: []string{"workload", "L1 miss base", "L1 miss lcs", "DRAM queue base", "DRAM queue lcs", "load lat base", "load lat lcs"},
 	}
 	for _, n := range memSet {
-		b := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res
-		l := h.run(runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO}).res
+		b := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result
+		l := r.get(h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO)).Result
+		if r.err != nil {
+			return nil, r.err
+		}
 		t.Rows = append(t.Rows, []string{
 			n,
 			pct(b.L1.MissRate()), pct(l.L1.MissRate()),
@@ -306,38 +335,42 @@ func (h *Harness) Fig6LCSMemory() *Table {
 			fmt.Sprintf("%.0f", b.AvgMemLatency), fmt.Sprintf("%.0f", l.AvgMemLatency),
 		})
 	}
-	return t
+	return t, r.err
 }
 
 // Fig7LCSChoice compares the CTA count LCS (and the adaptive extension)
 // settles on against the oracle static limit.
-func (h *Harness) Fig7LCSChoice() *Table {
+func (h *Harness) Fig7LCSChoice() (*Table, error) {
+	r := h.resolve()
 	names := workloads.Names()
-	var specs []runSpec
+	var reqs []sim.Request
 	for _, n := range names {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO},
+		reqs = append(reqs,
+			h.single(n, sim.LCS(), sm.PolicyGTO),
+			h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO),
 		)
 		for lim := 1; lim <= h.maxResident(n); lim++ {
-			specs = append(specs, runSpec{names: []string{n}, sched: fmt.Sprintf("static:%d", lim), policy: sm.PolicyGTO})
+			reqs = append(reqs, h.single(n, sim.Static(lim), sm.PolicyGTO))
 		}
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig7", Title: "Chosen CTAs/SM: LCS vs adaptive vs oracle",
 		Headers: []string{"workload", "max", "LCS (median)", "adaptive (median)", "oracle"},
 	}
 	for _, n := range names {
-		lcs := h.run(runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO})
-		ad := h.run(runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO})
-		_, orLim := h.oracle(n)
+		lcs := r.get(h.single(n, sim.LCS(), sm.PolicyGTO))
+		ad := r.get(h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO))
+		_, orLim := h.oracle(r, n)
+		if r.err != nil {
+			return nil, r.err
+		}
 		t.Rows = append(t.Rows, []string{
 			n, fmt.Sprint(h.maxResident(n)),
-			fmt.Sprint(median(lcs.limits)), fmt.Sprint(median(ad.limits)), fmt.Sprint(orLim),
+			fmt.Sprint(median(lcs.Limits)), fmt.Sprint(median(ad.Limits)), fmt.Sprint(orLim),
 		})
 	}
-	return t
+	return t, r.err
 }
 
 func median(limits []int) int {
@@ -357,30 +390,34 @@ func median(limits []int) int {
 // Fig8BCS is the headline BCS figure: speedup of BCS gang dispatch with the
 // BAWS warp scheduler over the baseline, on the inter-CTA-locality subset,
 // with the L1 sharing it creates (hits plus MSHR merges).
-func (h *Harness) Fig8BCS() *Table {
-	var specs []runSpec
+func (h *Harness) Fig8BCS() (*Table, error) {
+	r := h.resolve()
+	var reqs []sim.Request
 	for _, n := range localitySet {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyBAWS},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.BCS(2), sm.PolicyBAWS),
 		)
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig8", Title: "BCS(+BAWS) speedup over baseline on locality workloads",
 		Headers: []string{"workload", "speedup", "L1 hit+merge base", "L1 hit+merge bcs", "DRAM reads saved"},
 	}
 	var all []float64
 	for _, n := range localitySet {
-		b := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res
-		x := h.run(runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyBAWS}).res
+		b := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result
+		x := r.get(h.single(n, sim.BCS(2), sm.PolicyBAWS)).Result
+		if r.err != nil {
+			return nil, r.err
+		}
 		s := speedup(b.Cycles, x.Cycles)
 		all = append(all, s)
-		share := func(r gpu.Result) float64 {
-			if r.L1.Accesses == 0 {
+		share := func(res gpu.Result) float64 {
+			if res.L1.Accesses == 0 {
 				return 0
 			}
-			return float64(r.L1.Hits+r.L1.MSHRMerges) / float64(r.L1.Accesses)
+			return float64(res.L1.Hits+res.L1.MSHRMerges) / float64(res.L1.Accesses)
 		}
 		saved := 0.0
 		if b.DRAM.Reads > 0 {
@@ -391,30 +428,34 @@ func (h *Harness) Fig8BCS() *Table {
 		})
 	}
 	t.Rows = append(t.Rows, []string{"geomean", fmt.Sprintf("%.3f", stats.GeoMean(all)), "", "", ""})
-	return t
+	return t, r.err
 }
 
 // Fig9BAWS is the warp-scheduler ablation: BCS dispatch under plain GTO
 // (gangs co-located but serialized) vs under BAWS (gangs in lockstep).
-func (h *Harness) Fig9BAWS() *Table {
-	var specs []runSpec
+func (h *Harness) Fig9BAWS() (*Table, error) {
+	r := h.resolve()
+	var reqs []sim.Request
 	for _, n := range localitySet {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyBAWS},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.BCS(2), sm.PolicyGTO),
+			h.single(n, sim.BCS(2), sm.PolicyBAWS),
 		)
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig9", Title: "BAWS ablation: BCS+GTO vs BCS+BAWS (speedup over baseline)",
 		Headers: []string{"workload", "BCS+GTO", "BCS+BAWS", "BAWS contribution"},
 	}
 	var g, bw []float64
 	for _, n := range localitySet {
-		b := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res.Cycles
-		sg := speedup(b, h.run(runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyGTO}).res.Cycles)
-		sb := speedup(b, h.run(runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyBAWS}).res.Cycles)
+		b := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result.Cycles
+		sg := speedup(b, r.get(h.single(n, sim.BCS(2), sm.PolicyGTO)).Result.Cycles)
+		sb := speedup(b, r.get(h.single(n, sim.BCS(2), sm.PolicyBAWS)).Result.Cycles)
+		if r.err != nil {
+			return nil, r.err
+		}
 		g, bw = append(g, sg), append(bw, sb)
 		t.Rows = append(t.Rows, []string{
 			n, fmt.Sprintf("%.3f", sg), fmt.Sprintf("%.3f", sb), fmt.Sprintf("%+.1f%%", (sb/sg-1)*100),
@@ -423,35 +464,39 @@ func (h *Harness) Fig9BAWS() *Table {
 	t.Rows = append(t.Rows, []string{
 		"geomean", fmt.Sprintf("%.3f", stats.GeoMean(g)), fmt.Sprintf("%.3f", stats.GeoMean(bw)), "",
 	})
-	return t
+	return t, r.err
 }
 
 // Fig10MCKE is the concurrent-kernel figure: total throughput of kernel
 // pairs under sequential execution, spatial core partitioning, and the
 // paper's mixed intra-SM co-scheduling with an LCS-derived limit.
-func (h *Harness) Fig10MCKE() *Table {
+func (h *Harness) Fig10MCKE() (*Table, error) {
+	r := h.resolve()
 	// Profile phase: adaptive LCS decides each leading kernel's limit.
-	var profile []runSpec
+	var profile []sim.Request
 	for _, p := range ckePairs {
-		profile = append(profile, runSpec{names: []string{p[0]}, sched: "adaptive", policy: sm.PolicyGTO})
+		profile = append(profile, h.single(p[0], sim.AdaptiveLCS(), sm.PolicyGTO))
 	}
-	h.prefetch(profile)
-	var specs []runSpec
+	r.warm(profile)
+	var reqs []sim.Request
 	limits := map[string]int{}
 	for _, p := range ckePairs {
-		lim := lowQuartile(h.run(runSpec{names: []string{p[0]}, sched: "adaptive", policy: sm.PolicyGTO}).limits)
+		lim := lowQuartile(r.get(h.single(p[0], sim.AdaptiveLCS(), sm.PolicyGTO)).Limits)
+		if r.err != nil {
+			return nil, r.err
+		}
 		if lim < 1 {
 			lim = 1
 		}
 		limits[p[0]] = lim
 		pair := []string{p[0], p[1]}
-		specs = append(specs,
-			runSpec{names: pair, sched: "seq", policy: sm.PolicyGTO},
-			runSpec{names: pair, sched: "spatial", policy: sm.PolicyGTO},
-			runSpec{names: pair, sched: fmt.Sprintf("mixed:%d", lim), policy: sm.PolicyGTO},
+		reqs = append(reqs,
+			h.multi(pair, sim.Sequential(), sm.PolicyGTO),
+			h.multi(pair, sim.Spatial(0), sm.PolicyGTO),
+			h.multi(pair, sim.Mixed(lim), sm.PolicyGTO),
 		)
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig10", Title: "Concurrent kernel execution: normalized throughput (higher is better)",
 		Headers: []string{"pair", "nOpt(A)", "sequential", "spatial", "mixed"},
@@ -460,9 +505,12 @@ func (h *Harness) Fig10MCKE() *Table {
 	for _, p := range ckePairs {
 		pair := []string{p[0], p[1]}
 		lim := limits[p[0]]
-		seq := h.run(runSpec{names: pair, sched: "seq", policy: sm.PolicyGTO}).res.Cycles
-		spa := speedup(seq, h.run(runSpec{names: pair, sched: "spatial", policy: sm.PolicyGTO}).res.Cycles)
-		mix := speedup(seq, h.run(runSpec{names: pair, sched: fmt.Sprintf("mixed:%d", lim), policy: sm.PolicyGTO}).res.Cycles)
+		seq := r.get(h.multi(pair, sim.Sequential(), sm.PolicyGTO)).Result.Cycles
+		spa := speedup(seq, r.get(h.multi(pair, sim.Spatial(0), sm.PolicyGTO)).Result.Cycles)
+		mix := speedup(seq, r.get(h.multi(pair, sim.Mixed(lim), sm.PolicyGTO)).Result.Cycles)
+		if r.err != nil {
+			return nil, r.err
+		}
 		sp, mx = append(sp, spa), append(mx, mix)
 		t.Rows = append(t.Rows, []string{
 			p[0] + "+" + p[1], fmt.Sprint(lim), "1.000",
@@ -473,85 +521,109 @@ func (h *Harness) Fig10MCKE() *Table {
 		"geomean", "", "1.000",
 		fmt.Sprintf("%.3f", stats.GeoMean(sp)), fmt.Sprintf("%.3f", stats.GeoMean(mx)),
 	})
-	return t
+	return t, r.err
 }
 
 // Fig11Sensitivity sweeps the mechanisms' tuning: BCS gang width and the
 // L1 capacity dependence of throttling.
-func (h *Harness) Fig11Sensitivity() *Table {
+func (h *Harness) Fig11Sensitivity() (*Table, error) {
+	r := h.resolve()
 	sub := []string{"stencil", "conv2d", "hotspot"}
-	var specs []runSpec
+	l1Req := func(name string, sched sim.SchedSpec, l1 int) sim.Request {
+		req := h.single(name, sched, sm.PolicyGTO)
+		req.L1Bytes = l1
+		return req
+	}
+	fcfsReq := func(name string) sim.Request {
+		req := h.single(name, sim.Baseline(), sm.PolicyGTO)
+		req.DRAMSchedFCFS = true
+		return req
+	}
+	var reqs []sim.Request
 	for _, n := range sub {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "bcs:2", policy: sm.PolicyBAWS},
-			runSpec{names: []string{n}, sched: "bcs:4", policy: sm.PolicyBAWS},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.BCS(2), sm.PolicyBAWS),
+			h.single(n, sim.BCS(4), sm.PolicyBAWS),
 		)
 	}
 	for _, n := range []string{"spmv", "conv2d"} {
 		for _, l1 := range []int{16 * 1024, 32 * 1024} {
-			specs = append(specs,
-				runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO, l1Bytes: l1},
-				runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO, l1Bytes: l1},
+			reqs = append(reqs,
+				l1Req(n, sim.Baseline(), l1),
+				l1Req(n, sim.AdaptiveLCS(), l1),
 			)
 		}
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig11", Title: "Sensitivity: BCS gang width and L1 capacity",
 		Headers: []string{"study", "workload", "config", "speedup"},
 	}
 	for _, n := range sub {
-		b := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res.Cycles
+		b := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result.Cycles
 		for _, bs := range []int{2, 4} {
-			s := speedup(b, h.run(runSpec{names: []string{n}, sched: fmt.Sprintf("bcs:%d", bs), policy: sm.PolicyBAWS}).res.Cycles)
+			s := speedup(b, r.get(h.single(n, sim.BCS(bs), sm.PolicyBAWS)).Result.Cycles)
+			if r.err != nil {
+				return nil, r.err
+			}
 			t.Rows = append(t.Rows, []string{"bcs-width", n, fmt.Sprintf("gang=%d", bs), fmt.Sprintf("%.3f", s)})
 		}
 	}
 	for _, n := range []string{"spmv", "conv2d"} {
 		for _, l1 := range []int{16 * 1024, 32 * 1024} {
-			b := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO, l1Bytes: l1}).res.Cycles
-			s := speedup(b, h.run(runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO, l1Bytes: l1}).res.Cycles)
+			b := r.get(l1Req(n, sim.Baseline(), l1)).Result.Cycles
+			s := speedup(b, r.get(l1Req(n, sim.AdaptiveLCS(), l1)).Result.Cycles)
+			if r.err != nil {
+				return nil, r.err
+			}
 			t.Rows = append(t.Rows, []string{"l1-capacity", n, fmt.Sprintf("L1=%dKB", l1/1024), fmt.Sprintf("%.3f", s)})
 		}
 	}
 	// DRAM scheduling: how much baseline performance rides on FR-FCFS row
 	// reuse (FCFS speedup < 1 = slowdown from losing it).
 	for _, n := range []string{"stencil", "vadd"} {
-		base := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res
-		fcfs := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO, fcfs: true}).res
+		base := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result
+		fcfs := r.get(fcfsReq(n)).Result
+		if r.err != nil {
+			return nil, r.err
+		}
 		t.Rows = append(t.Rows, []string{"dram-sched", n,
 			fmt.Sprintf("FCFS (rowhit %s vs %s)", pct(fcfs.DRAM.RowHitRate()), pct(base.DRAM.RowHitRate())),
 			fmt.Sprintf("%.3f", speedup(base.Cycles, fcfs.Cycles))})
 	}
-	return t
+	return t, r.err
 }
 
 // Fig12WarpSched crosses warp schedulers with CTA scheduling: LRR,
 // two-level, and GTO baselines, and LCS on top of GTO (LCS depends on
 // greedy concentration).
-func (h *Harness) Fig12WarpSched() *Table {
+func (h *Harness) Fig12WarpSched() (*Table, error) {
+	r := h.resolve()
 	names := workloads.Names()
-	var specs []runSpec
+	var reqs []sim.Request
 	for _, n := range names {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyLRR},
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyTwoLevel},
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyLRR),
+			h.single(n, sim.Baseline(), sm.PolicyTwoLevel),
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.LCS(), sm.PolicyGTO),
 		)
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig12", Title: "Warp-scheduler interaction (speedup over LRR baseline)",
 		Headers: []string{"workload", "two-level", "GTO", "GTO+LCS"},
 	}
 	var tl, g, gl []float64
 	for _, n := range names {
-		lrr := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyLRR}).res.Cycles
-		st := speedup(lrr, h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyTwoLevel}).res.Cycles)
-		sg := speedup(lrr, h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res.Cycles)
-		sl := speedup(lrr, h.run(runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO}).res.Cycles)
+		lrr := r.get(h.single(n, sim.Baseline(), sm.PolicyLRR)).Result.Cycles
+		st := speedup(lrr, r.get(h.single(n, sim.Baseline(), sm.PolicyTwoLevel)).Result.Cycles)
+		sg := speedup(lrr, r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result.Cycles)
+		sl := speedup(lrr, r.get(h.single(n, sim.LCS(), sm.PolicyGTO)).Result.Cycles)
+		if r.err != nil {
+			return nil, r.err
+		}
 		tl, g, gl = append(tl, st), append(g, sg), append(gl, sl)
 		t.Rows = append(t.Rows, []string{n,
 			fmt.Sprintf("%.3f", st), fmt.Sprintf("%.3f", sg), fmt.Sprintf("%.3f", sl)})
@@ -560,33 +632,37 @@ func (h *Harness) Fig12WarpSched() *Table {
 		fmt.Sprintf("%.3f", stats.GeoMean(tl)),
 		fmt.Sprintf("%.3f", stats.GeoMean(g)),
 		fmt.Sprintf("%.3f", stats.GeoMean(gl))})
-	return t
+	return t, r.err
 }
 
 // Fig13PriorWork contrasts LCS with the DYNCTA-style feedback throttler —
 // the closest prior-work CTA scheduler the paper is positioned against.
-func (h *Harness) Fig13PriorWork() *Table {
+func (h *Harness) Fig13PriorWork() (*Table, error) {
+	r := h.resolve()
 	names := workloads.Names()
-	var specs []runSpec
+	var reqs []sim.Request
 	for _, n := range names {
-		specs = append(specs,
-			runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "dyncta", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO},
-			runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO},
+		reqs = append(reqs,
+			h.single(n, sim.Baseline(), sm.PolicyGTO),
+			h.single(n, sim.DynCTA(), sm.PolicyGTO),
+			h.single(n, sim.LCS(), sm.PolicyGTO),
+			h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO),
 		)
 	}
-	h.prefetch(specs)
+	r.warm(reqs)
 	t := &Table{
 		ID: "fig13", Title: "CTA throttling vs prior work (speedup over baseline)",
 		Headers: []string{"workload", "DYNCTA", "LCS", "LCS-adaptive"},
 	}
 	var dy, lc, ad []float64
 	for _, n := range names {
-		base := h.run(runSpec{names: []string{n}, sched: "base", policy: sm.PolicyGTO}).res.Cycles
-		sd := speedup(base, h.run(runSpec{names: []string{n}, sched: "dyncta", policy: sm.PolicyGTO}).res.Cycles)
-		sl := speedup(base, h.run(runSpec{names: []string{n}, sched: "lcs", policy: sm.PolicyGTO}).res.Cycles)
-		sa := speedup(base, h.run(runSpec{names: []string{n}, sched: "adaptive", policy: sm.PolicyGTO}).res.Cycles)
+		base := r.get(h.single(n, sim.Baseline(), sm.PolicyGTO)).Result.Cycles
+		sd := speedup(base, r.get(h.single(n, sim.DynCTA(), sm.PolicyGTO)).Result.Cycles)
+		sl := speedup(base, r.get(h.single(n, sim.LCS(), sm.PolicyGTO)).Result.Cycles)
+		sa := speedup(base, r.get(h.single(n, sim.AdaptiveLCS(), sm.PolicyGTO)).Result.Cycles)
+		if r.err != nil {
+			return nil, r.err
+		}
 		dy, lc, ad = append(dy, sd), append(lc, sl), append(ad, sa)
 		t.Rows = append(t.Rows, []string{n,
 			fmt.Sprintf("%.3f", sd), fmt.Sprintf("%.3f", sl), fmt.Sprintf("%.3f", sa)})
@@ -595,5 +671,5 @@ func (h *Harness) Fig13PriorWork() *Table {
 		fmt.Sprintf("%.3f", stats.GeoMean(dy)),
 		fmt.Sprintf("%.3f", stats.GeoMean(lc)),
 		fmt.Sprintf("%.3f", stats.GeoMean(ad))})
-	return t
+	return t, r.err
 }

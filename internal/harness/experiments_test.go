@@ -18,7 +18,10 @@ func TestAllExperimentsTinyScale(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			table := e.Run(h)
+			table, err := e.Run(h)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if table.ID != e.ID {
 				t.Errorf("table ID %q, want %q", table.ID, e.ID)
 			}
@@ -49,12 +52,20 @@ func TestSpeedupColumnsArePositive(t *testing.T) {
 		t.Skip("runs small simulations")
 	}
 	h := tinyHarness()
+	fig9, err := h.Fig9BAWS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig12, err := h.Fig12WarpSched()
+	if err != nil {
+		t.Fatal(err)
+	}
 	checks := []struct {
 		table *Table
 		cols  []int
 	}{
-		{h.Fig9BAWS(), []int{1, 2}},
-		{h.Fig12WarpSched(), []int{1, 2}},
+		{fig9, []int{1, 2}},
+		{fig12, []int{1, 2}},
 	}
 	for _, c := range checks {
 		for _, row := range c.table.Rows {
@@ -82,8 +93,12 @@ func TestOracleNeverBelowOne(t *testing.T) {
 	h := tinyHarness()
 	// The oracle includes the occupancy maximum itself, so its speedup is
 	// >= 1 by construction.
+	r := h.resolve()
 	for _, n := range []string{"vadd", "spmv"} {
-		best, lim := h.oracle(n)
+		best, lim := h.oracle(r, n)
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
 		if best < 0.999 {
 			t.Errorf("%s oracle %.3f < 1", n, best)
 		}

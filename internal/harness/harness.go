@@ -1,22 +1,21 @@
 // Package harness regenerates the paper's tables and figures. Each
 // experiment is a function from Options to a Table; cmd/paperbench renders
 // them as aligned text and CSV, and bench_test.go wraps each as a Go
-// benchmark. Simulation results are memoized per harness so experiments
-// that share runs (the oracle sweep feeds three figures) pay for them once,
-// and independent runs execute on all cores.
+// benchmark. All simulations flow through the internal/sim service layer,
+// which memoizes and deduplicates runs across experiments (the oracle
+// sweep feeds three figures but pays for its simulations once), executes
+// independent runs on all cores, and can persist results on disk so
+// repeated invocations skip completed work.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
-	"gpusched/internal/core"
-	"gpusched/internal/gpu"
-	"gpusched/internal/kernel"
+	"gpusched/internal/sim"
 	"gpusched/internal/sm"
 	"gpusched/internal/workloads"
 )
@@ -30,6 +29,9 @@ type Options struct {
 	Cores int
 	// Progress, when non-nil, receives one line per completed simulation.
 	Progress io.Writer
+	// CacheDir, when non-empty, persists simulation results on disk
+	// (conventionally results/.simcache) so repeated runs skip them.
+	CacheDir string
 }
 
 // Table is one rendered experiment.
@@ -98,165 +100,83 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
-// Harness memoizes simulation runs across experiments.
+// Harness binds the experiment generators to a simulation service.
 type Harness struct {
-	opt  Options
-	mu   sync.Mutex
-	memo map[string]runOut
+	opt Options
+	svc *sim.Service
 }
 
 // New builds a harness.
 func New(opt Options) *Harness {
-	return &Harness{opt: opt, memo: make(map[string]runOut)}
-}
-
-// runSpec is one simulation request.
-type runSpec struct {
-	// names are the workloads to launch, in order.
-	names []string
-	// sched encodes the CTA scheduler: "base", "lcs", "adaptive",
-	// "bcs:N", "static:N", "seq", "spatial", "mixed:N".
-	sched string
-	// policy is the warp scheduler.
-	policy sm.Policy
-	// l1Bytes optionally overrides the L1 capacity (sensitivity study).
-	l1Bytes int
-	// fcfs selects plain FCFS DRAM scheduling (sensitivity study).
-	fcfs bool
-}
-
-func (s runSpec) key() string {
-	return fmt.Sprintf("%s|%s|%v|%d|%v", strings.Join(s.names, "+"), s.sched, s.policy, s.l1Bytes, s.fcfs)
-}
-
-// runOut couples the simulation result with scheduler-internal state.
-type runOut struct {
-	res gpu.Result
-	// limits holds LCS-family per-core decisions (nil otherwise).
-	limits []int
-}
-
-func (h *Harness) dispatcher(sched string) core.Dispatcher {
-	parts := strings.SplitN(sched, ":", 2)
-	arg := 0
-	if len(parts) == 2 {
-		fmt.Sscanf(parts[1], "%d", &arg)
-	}
-	switch parts[0] {
-	case "lcs":
-		return core.NewLCS()
-	case "adaptive":
-		return core.NewAdaptiveLCS()
-	case "dyncta":
-		return core.NewDynCTA()
-	case "bcs":
-		b := core.NewBCS()
-		if arg > 0 {
-			b.BlockSize = arg
-		}
-		return b
-	case "static":
-		return core.NewLimited(arg)
-	case "seq":
-		return core.NewSequential()
-	case "spatial":
-		return core.NewSpatial()
-	case "mixed":
-		return core.NewMixed(arg)
-	default:
-		return core.NewRoundRobin()
+	return &Harness{
+		opt: opt,
+		svc: sim.NewService(sim.Options{
+			Progress: opt.Progress,
+			CacheDir: opt.CacheDir,
+		}),
 	}
 }
 
-// run executes (or recalls) one simulation.
-func (h *Harness) run(spec runSpec) runOut {
-	key := spec.key()
-	h.mu.Lock()
-	if out, ok := h.memo[key]; ok {
-		h.mu.Unlock()
-		return out
-	}
-	h.mu.Unlock()
+// Service exposes the underlying simulation service (request statistics).
+func (h *Harness) Service() *sim.Service { return h.svc }
 
-	cfg := gpu.DefaultConfig()
-	if h.opt.Cores > 0 {
-		cfg.NumCores = h.opt.Cores
+// single builds a one-workload request at the harness's scale/core count.
+func (h *Harness) single(name string, sched sim.SchedSpec, policy sm.Policy) sim.Request {
+	return h.multi([]string{name}, sched, policy)
+}
+
+// multi builds a multi-kernel request at the harness's scale/core count.
+func (h *Harness) multi(names []string, sched sim.SchedSpec, policy sm.Policy) sim.Request {
+	return sim.Request{
+		Workloads: names,
+		Sched:     sched,
+		Warp:      policy,
+		Scale:     h.opt.Scale,
+		Cores:     h.opt.Cores,
 	}
-	cfg.Core.WarpPolicy = spec.policy
-	if spec.l1Bytes > 0 {
-		cfg.Mem.L1Bytes = spec.l1Bytes
+}
+
+// resolver threads one experiment's simulation lookups through the
+// service, capturing the first error so the table-building code stays
+// linear. After any failure, get returns zero outcomes and the experiment
+// surfaces r.err to its caller.
+type resolver struct {
+	h   *Harness
+	err error
+}
+
+func (h *Harness) resolve() *resolver { return &resolver{h: h} }
+
+// get executes (or recalls) one simulation.
+func (r *resolver) get(req sim.Request) sim.Outcome {
+	if r.err != nil {
+		return sim.Outcome{}
 	}
-	cfg.Mem.DRAMSchedFCFS = spec.fcfs
-	d := h.dispatcher(spec.sched)
-	ks := h.buildKernels(spec.names)
-	g, err := gpu.New(cfg, d, ks...)
+	out, err := r.h.svc.Run(context.Background(), req)
 	if err != nil {
-		panic(fmt.Sprintf("harness: %v", err))
-	}
-	res := g.Run()
-	if res.TimedOut {
-		panic(fmt.Sprintf("harness: %s timed out after %d cycles", key, res.Cycles))
-	}
-	out := runOut{res: res}
-	switch dd := d.(type) {
-	case *core.LCS:
-		out.limits = append([]int(nil), dd.Limits()...)
-	case *core.AdaptiveLCS:
-		out.limits = append([]int(nil), dd.Limits()...)
-	case *core.DynCTA:
-		out.limits = append([]int(nil), dd.Limits()...)
-	}
-	h.mu.Lock()
-	h.memo[key] = out
-	h.mu.Unlock()
-	if h.opt.Progress != nil {
-		fmt.Fprintf(h.opt.Progress, "ran %-40s %10d cycles\n", key, res.Cycles)
+		r.err = err
+		return sim.Outcome{}
 	}
 	return out
 }
 
-// prefetch executes all missing specs concurrently.
-func (h *Harness) prefetch(specs []runSpec) {
-	workers := runtime.NumCPU()
-	if workers > len(specs) {
-		workers = len(specs)
+// warm executes all missing requests concurrently before the sequential
+// table-assembly reads, so independent simulations use every core.
+func (r *resolver) warm(reqs []sim.Request) {
+	if r.err != nil {
+		return
 	}
-	if workers < 1 {
-		workers = 1
+	if err := r.h.svc.RunAll(context.Background(), reqs); err != nil {
+		r.err = err
 	}
-	ch := make(chan runSpec)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range ch {
-				h.run(s)
-			}
-		}()
-	}
-	for _, s := range specs {
-		ch <- s
-	}
-	close(ch)
-	wg.Wait()
-}
-
-func (h *Harness) buildKernels(names []string) []*kernel.Spec {
-	out := make([]*kernel.Spec, len(names))
-	for i, n := range names {
-		w, ok := workloads.ByName(n)
-		if !ok {
-			panic("harness: unknown workload " + n)
-		}
-		out[i] = w.Build(h.opt.Scale)
-	}
-	return out
 }
 
 // maxResident returns the occupancy-maximal CTAs/SM for a workload.
 func (h *Harness) maxResident(name string) int {
-	w, _ := workloads.ByName(name)
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return 0
+	}
 	n, _ := sm.DefaultConfig().Limits.MaxResident(w.Build(h.opt.Scale))
 	return n
 }
@@ -279,9 +199,10 @@ func lowQuartile(limits []int) int {
 
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
 
-func speedup(base, new uint64) float64 {
-	if new == 0 {
+// speedup returns base/cur as a ratio (0 when cur is degenerate).
+func speedup(base, cur uint64) float64 {
+	if cur == 0 {
 		return 0
 	}
-	return float64(base) / float64(new)
+	return float64(base) / float64(cur)
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"gpusched/internal/sim"
+	"gpusched/internal/sm"
 	"gpusched/internal/workloads"
 )
 
@@ -66,7 +68,10 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestTable1IsStatic(t *testing.T) {
 	h := tinyHarness()
-	table := h.Table1Config()
+	table, err := h.Table1Config()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if table.ID != "table1" || len(table.Rows) < 10 {
 		t.Fatalf("table1 = %+v", table)
 	}
@@ -74,14 +79,39 @@ func TestTable1IsStatic(t *testing.T) {
 
 func TestMemoizationReturnsSameResult(t *testing.T) {
 	h := tinyHarness()
-	spec := runSpec{names: []string{"vadd"}, sched: "base", policy: 1}
-	a := h.run(spec)
-	b := h.run(spec)
-	if a.res.Cycles != b.res.Cycles {
+	r := h.resolve()
+	req := h.single("vadd", sim.Baseline(), sm.PolicyGTO)
+	a := r.get(req)
+	b := r.get(req)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if a.Result.Cycles != b.Result.Cycles {
 		t.Fatal("memoized run differed")
 	}
-	if len(h.memo) != 1 {
-		t.Fatalf("memo has %d entries, want 1", len(h.memo))
+	if st := h.Service().Stats(); st.Simulated != 1 {
+		t.Fatalf("service simulated %d runs, want 1", st.Simulated)
+	}
+}
+
+func TestResolverStopsAfterFirstError(t *testing.T) {
+	h := tinyHarness()
+	r := h.resolve()
+	bad := h.single("no-such-workload", sim.Baseline(), sm.PolicyGTO)
+	if out := r.get(bad); out.Result.Cycles != 0 {
+		t.Fatal("failed request returned a non-zero outcome")
+	}
+	if r.err == nil {
+		t.Fatal("resolver swallowed the error")
+	}
+	// Later lookups are no-ops that keep the first error.
+	first := r.err
+	r.get(h.single("vadd", sim.Baseline(), sm.PolicyGTO))
+	if r.err != first {
+		t.Fatalf("resolver error changed: %v", r.err)
+	}
+	if st := h.Service().Stats(); st.Simulated != 0 {
+		t.Fatalf("service simulated %d runs after failure, want 0", st.Simulated)
 	}
 }
 
@@ -90,7 +120,10 @@ func TestFig9SmallEndToEnd(t *testing.T) {
 		t.Skip("runs several simulations")
 	}
 	h := tinyHarness()
-	table := h.Fig9BAWS()
+	table, err := h.Fig9BAWS()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// localitySet rows + geomean.
 	if len(table.Rows) != len(localitySet)+1 {
 		t.Fatalf("fig9 rows = %d, want %d", len(table.Rows), len(localitySet)+1)
@@ -106,7 +139,10 @@ func TestIssueHistogramShape(t *testing.T) {
 		t.Skip("runs a simulation")
 	}
 	h := tinyHarness()
-	hist, ratio := h.issueHistogram("vadd")
+	hist, ratio, err := h.issueHistogram("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hist) == 0 {
 		t.Fatal("empty histogram")
 	}
@@ -136,21 +172,17 @@ func TestLowQuartileAndMedian(t *testing.T) {
 	}
 }
 
-func TestDispatcherFactoryParsing(t *testing.T) {
+func TestRequestBuildersCarryOptions(t *testing.T) {
 	h := tinyHarness()
-	cases := map[string]string{
-		"base":     "rr",
-		"lcs":      "lcs",
-		"adaptive": "lcs-adaptive",
-		"bcs:4":    "bcs",
-		"static:3": "limited",
-		"seq":      "sequential",
-		"spatial":  "spatial",
-		"mixed:2":  "mixed",
+	req := h.single("vadd", sim.Static(3), sm.PolicyBAWS)
+	if len(req.Workloads) != 1 || req.Workloads[0] != "vadd" {
+		t.Fatalf("workloads = %v", req.Workloads)
 	}
-	for spec, want := range cases {
-		if got := h.dispatcher(spec).Name(); got != want {
-			t.Errorf("dispatcher(%q).Name() = %q, want %q", spec, got, want)
-		}
+	if req.Scale != workloads.ScaleTest || req.Cores != 4 {
+		t.Fatalf("request lost harness options: %+v", req)
+	}
+	multi := h.multi([]string{"spmv", "sgemm"}, sim.Mixed(2), sm.PolicyGTO)
+	if len(multi.Workloads) != 2 || multi.Sched.Name() != "mixed" {
+		t.Fatalf("multi request = %+v", multi)
 	}
 }

@@ -1,10 +1,12 @@
 package harness
 
-// Experiment couples an id with its generator.
+// Experiment couples an id with its generator. Run reports a wrapped
+// error (unknown workload, build failure, simulation timeout) instead of
+// panicking; callers decide whether one failure aborts the batch.
 type Experiment struct {
 	ID   string
 	Desc string
-	Run  func(h *Harness) *Table
+	Run  func(h *Harness) (*Table, error)
 }
 
 // Experiments lists every reproduced table and figure in paper order.

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// cacheVersion is the on-disk format/semantics version. Bump it whenever
+// simulator behaviour changes in a result-visible way (timing model edits,
+// new counters, workload generator changes): every stale entry then misses
+// and is resimulated. Entries also self-invalidate when any request input
+// changes, because the full Key() is part of the filename hash and is
+// verified on load.
+const cacheVersion = 1
+
+// cacheEntry is the JSON envelope of one cached simulation.
+type cacheEntry struct {
+	Version int     `json:"version"`
+	Key     string  `json:"key"`
+	Outcome Outcome `json:"outcome"`
+}
+
+// diskCache persists outcomes under dir as <sha256(key)>.json. All
+// operations are best-effort: an unreadable or stale entry is a miss and a
+// failed store is ignored (the memo still has the result).
+type diskCache struct {
+	dir string
+}
+
+func (c *diskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+func (c *diskCache) load(key string) (Outcome, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Outcome{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != cacheVersion || e.Key != key {
+		return Outcome{}, false
+	}
+	return e.Outcome, true
+}
+
+func (c *diskCache) store(key string, out Outcome) {
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Version: cacheVersion, Key: key, Outcome: out})
+	if err != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent readers from seeing torn files.
+	tmp, err := os.CreateTemp(c.dir, "simcache-*.tmp")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if tmp.Close() != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), c.path(key)) != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"gpusched/internal/gpu"
+	"gpusched/internal/kernel"
+	"gpusched/internal/sm"
+	"gpusched/internal/workloads"
+)
+
+// Request describes one simulation: what to run and on which simulated
+// machine. The zero values of the override fields keep the Fermi-class
+// defaults, so a Request is fully described by its visible fields and
+// Key() can serve as a cache identity.
+type Request struct {
+	// Workloads are the suite workloads to launch, in launch order.
+	Workloads []string
+	// Sched is the CTA scheduling policy.
+	Sched SchedSpec
+	// Warp is the per-SM warp scheduling policy.
+	Warp sm.Policy
+	// Scale selects the problem size.
+	Scale workloads.Scale
+	// Cores overrides the SM count (0 = the 15-SM default).
+	Cores int
+	// L1Bytes overrides the per-SM L1 capacity (0 = default; sensitivity
+	// studies).
+	L1Bytes int
+	// DRAMSchedFCFS selects plain FCFS DRAM scheduling over FR-FCFS.
+	DRAMSchedFCFS bool
+	// MaxCycles overrides the simulation bound (0 = the 20M default).
+	MaxCycles uint64
+}
+
+// Key returns the canonical identity of the request: two requests with
+// equal keys simulate identically (the simulator is deterministic). It is
+// the memoization key of Service and, hashed, the on-disk cache filename.
+func (r Request) Key() string {
+	return fmt.Sprintf("w=%s|sched=%s|warp=%s|scale=%s|cores=%d|l1=%d|fcfs=%t|max=%d",
+		strings.Join(r.Workloads, "+"), r.Sched, r.Warp,
+		ScaleName(r.Scale), r.Cores, r.L1Bytes, r.DRAMSchedFCFS, r.MaxCycles)
+}
+
+// Validate checks the request names known workloads and launches at least
+// one kernel.
+func (r Request) Validate() error {
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("sim: request launches no workloads")
+	}
+	for _, n := range r.Workloads {
+		if _, ok := workloads.ByName(n); !ok {
+			return fmt.Errorf("sim: unknown workload %q", n)
+		}
+	}
+	return nil
+}
+
+// kernels builds the kernel specs for the request's workloads.
+func (r Request) kernels() ([]*kernel.Spec, error) {
+	specs := make([]*kernel.Spec, len(r.Workloads))
+	for i, n := range r.Workloads {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown workload %q", n)
+		}
+		specs[i] = w.Build(r.Scale)
+	}
+	return specs, nil
+}
+
+// config assembles the GPU configuration the request's overrides select.
+func (r Request) config() gpu.Config {
+	cfg := gpu.DefaultConfig()
+	if r.Cores > 0 {
+		cfg.NumCores = r.Cores
+	}
+	cfg.Core.WarpPolicy = r.Warp
+	if r.L1Bytes > 0 {
+		cfg.Mem.L1Bytes = r.L1Bytes
+	}
+	cfg.Mem.DRAMSchedFCFS = r.DRAMSchedFCFS
+	if r.MaxCycles > 0 {
+		cfg.MaxCycles = r.MaxCycles
+	}
+	return cfg
+}
+
+// Outcome couples a simulation result with the scheduler-internal limit
+// decisions of LCS-family policies (nil otherwise).
+type Outcome struct {
+	Result gpu.Result
+	Limits []int `json:",omitempty"`
+}

@@ -1,0 +1,306 @@
+// Package sim is the typed simulation-service layer every entry point
+// builds on. It owns the one scheduler registry/parser (replacing the
+// string-DSL copies that used to live in internal/harness and the cmd
+// tools), a canonical cache key per simulation request, and a Service that
+// runs requests through a bounded worker pool with singleflight
+// deduplication, context cancellation, and an optional on-disk result
+// cache.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpusched/internal/core"
+	"gpusched/internal/sm"
+	"gpusched/internal/workloads"
+)
+
+// SchedKind enumerates the CTA scheduling policies.
+type SchedKind int
+
+const (
+	// SchedBaseline is occupancy-maximal round-robin dispatch.
+	SchedBaseline SchedKind = iota
+	// SchedLCS is the paper's lazy CTA scheduling.
+	SchedLCS
+	// SchedAdaptiveLCS is LCS plus the rate-guarded probing descent.
+	SchedAdaptiveLCS
+	// SchedDynCTA is the prior-work feedback throttler.
+	SchedDynCTA
+	// SchedBCS dispatches gangs of consecutive CTAs (Arg = gang width).
+	SchedBCS
+	// SchedStatic caps every SM at Arg resident CTAs.
+	SchedStatic
+	// SchedSequential runs launched kernels one at a time.
+	SchedSequential
+	// SchedSpatial partitions the SMs between two kernels (Arg = cores for
+	// the first kernel, 0 = even split).
+	SchedSpatial
+	// SchedMixed co-schedules two kernels per SM (Arg = first kernel's
+	// CTA limit).
+	SchedMixed
+)
+
+// SchedSpec is a CTA scheduling policy plus its parameter — the typed form
+// of strings like "bcs:2" or "static:3".
+type SchedSpec struct {
+	Kind SchedKind
+	// Arg parameterizes the policy: BCS gang width, static limit, spatial
+	// cores-for-first, mixed limit. 0 selects the policy default.
+	Arg int
+}
+
+// Typed constructors, mirroring the policies of internal/core.
+
+// Baseline is occupancy-maximal round-robin CTA dispatch.
+func Baseline() SchedSpec { return SchedSpec{Kind: SchedBaseline} }
+
+// LCS is lazy CTA scheduling.
+func LCS() SchedSpec { return SchedSpec{Kind: SchedLCS} }
+
+// AdaptiveLCS is LCS plus the probing descent.
+func AdaptiveLCS() SchedSpec { return SchedSpec{Kind: SchedAdaptiveLCS} }
+
+// DynCTA is the DYNCTA-style prior-work throttler.
+func DynCTA() SchedSpec { return SchedSpec{Kind: SchedDynCTA} }
+
+// BCS dispatches gangs of width consecutive CTAs (0 = the default 2).
+func BCS(width int) SchedSpec { return SchedSpec{Kind: SchedBCS, Arg: width} }
+
+// Static caps every SM at limit resident CTAs.
+func Static(limit int) SchedSpec { return SchedSpec{Kind: SchedStatic, Arg: limit} }
+
+// Sequential runs kernels one at a time (no CKE).
+func Sequential() SchedSpec { return SchedSpec{Kind: SchedSequential} }
+
+// Spatial partitions the SMs (coresForFirst = 0 means an even split).
+func Spatial(coresForFirst int) SchedSpec { return SchedSpec{Kind: SchedSpatial, Arg: coresForFirst} }
+
+// Mixed co-schedules two kernels per SM, capping the first at limitA.
+func Mixed(limitA int) SchedSpec { return SchedSpec{Kind: SchedMixed, Arg: limitA} }
+
+// schedEntry is one registry row: names, argument rules, and factories.
+type schedEntry struct {
+	kind      SchedKind
+	canonical string   // parse name and cache-key prefix
+	display   string   // report name ("lcs-adaptive" for "adaptive")
+	aliases   []string // accepted parse synonyms
+	// arg handling: takesArg policies render "name:arg" keys; needsArg
+	// rejects a bare name at parse time; defaultArg normalizes Arg == 0.
+	takesArg   bool
+	needsArg   bool
+	defaultArg int
+	// argInName embeds the arg in the display name ("static-3").
+	argInName bool
+	build     func(arg int) core.Dispatcher
+	limits    func(core.Dispatcher) []int
+}
+
+var schedRegistry = []schedEntry{
+	{
+		kind: SchedBaseline, canonical: "baseline", display: "baseline",
+		aliases: []string{"base", "rr"},
+		build:   func(int) core.Dispatcher { return core.NewRoundRobin() },
+	},
+	{
+		kind: SchedLCS, canonical: "lcs", display: "lcs",
+		build:  func(int) core.Dispatcher { return core.NewLCS() },
+		limits: func(d core.Dispatcher) []int { return d.(*core.LCS).Limits() },
+	},
+	{
+		kind: SchedAdaptiveLCS, canonical: "adaptive", display: "lcs-adaptive",
+		aliases: []string{"lcs-adaptive"},
+		build:   func(int) core.Dispatcher { return core.NewAdaptiveLCS() },
+		limits:  func(d core.Dispatcher) []int { return d.(*core.AdaptiveLCS).Limits() },
+	},
+	{
+		kind: SchedDynCTA, canonical: "dyncta", display: "dyncta",
+		build:  func(int) core.Dispatcher { return core.NewDynCTA() },
+		limits: func(d core.Dispatcher) []int { return d.(*core.DynCTA).Limits() },
+	},
+	{
+		kind: SchedBCS, canonical: "bcs", display: "bcs",
+		takesArg: true, defaultArg: 2,
+		build: func(arg int) core.Dispatcher {
+			b := core.NewBCS()
+			if arg > 0 {
+				b.BlockSize = arg
+			}
+			return b
+		},
+	},
+	{
+		kind: SchedStatic, canonical: "static", display: "static",
+		takesArg: true, needsArg: true, argInName: true,
+		build: func(arg int) core.Dispatcher { return core.NewLimited(arg) },
+	},
+	{
+		kind: SchedSequential, canonical: "sequential", display: "sequential",
+		aliases: []string{"seq"},
+		build:   func(int) core.Dispatcher { return core.NewSequential() },
+	},
+	{
+		kind: SchedSpatial, canonical: "spatial", display: "spatial",
+		takesArg: true,
+		build: func(arg int) core.Dispatcher {
+			s := core.NewSpatial()
+			s.CoresForA = arg
+			return s
+		},
+	},
+	{
+		kind: SchedMixed, canonical: "mixed", display: "mixed",
+		takesArg: true,
+		build:    func(arg int) core.Dispatcher { return core.NewMixed(arg) },
+	},
+}
+
+func (s SchedSpec) entry() schedEntry {
+	for _, e := range schedRegistry {
+		if e.kind == s.Kind {
+			return e
+		}
+	}
+	// Unknown kinds cannot be built from the exported constructors; treat
+	// them as the baseline rather than crash deep in a worker.
+	return schedRegistry[0]
+}
+
+// arg returns the normalized policy argument (defaults applied).
+func (s SchedSpec) arg() int {
+	e := s.entry()
+	if s.Arg == 0 && e.defaultArg != 0 {
+		return e.defaultArg
+	}
+	return s.Arg
+}
+
+// String renders the canonical "name" / "name:arg" form used in cache keys;
+// ParseSched inverts it.
+func (s SchedSpec) String() string {
+	e := s.entry()
+	if !e.takesArg {
+		return e.canonical
+	}
+	return fmt.Sprintf("%s:%d", e.canonical, s.arg())
+}
+
+// Name is the report/display identifier ("lcs-adaptive", "static-3").
+func (s SchedSpec) Name() string {
+	e := s.entry()
+	if e.argInName {
+		return fmt.Sprintf("%s-%d", e.display, s.arg())
+	}
+	return e.display
+}
+
+// NewDispatcher instantiates the policy. Each simulation needs a fresh
+// dispatcher: they carry per-run state.
+func (s SchedSpec) NewDispatcher() core.Dispatcher {
+	return s.entry().build(s.arg())
+}
+
+// Limits extracts the per-core CTA limits a finished dispatcher decided.
+// ok reports whether the policy makes such decisions (the LCS family).
+func (s SchedSpec) Limits(d core.Dispatcher) (limits []int, ok bool) {
+	e := s.entry()
+	if e.limits == nil {
+		return nil, false
+	}
+	return e.limits(d), true
+}
+
+// SchedFlagHelp documents ParseSched's grammar for CLI -sched flags.
+const SchedFlagHelp = "baseline | lcs | adaptive | dyncta | bcs[:N] | static:N | sequential | spatial[:N] | mixed[:N]"
+
+// ParseSched parses the scheduler DSL ("lcs", "bcs:4", "static:3", ...).
+// This is the only scheduler parser in the tree; every entry point
+// delegates here.
+func ParseSched(s string) (SchedSpec, error) {
+	name, argStr, hasArg := strings.Cut(s, ":")
+	var e *schedEntry
+	for i := range schedRegistry {
+		cand := &schedRegistry[i]
+		if cand.canonical == name {
+			e = cand
+			break
+		}
+		for _, a := range cand.aliases {
+			if a == name {
+				e = cand
+				break
+			}
+		}
+		if e != nil {
+			break
+		}
+	}
+	if e == nil {
+		return SchedSpec{}, fmt.Errorf("unknown scheduler %q (want %s)", name, SchedFlagHelp)
+	}
+	if hasArg && !e.takesArg {
+		return SchedSpec{}, fmt.Errorf("scheduler %q takes no argument", name)
+	}
+	if e.needsArg && !hasArg {
+		return SchedSpec{}, fmt.Errorf("scheduler %q needs an argument, e.g. %s:3", name, e.canonical)
+	}
+	arg := 0
+	if hasArg {
+		v, err := strconv.Atoi(argStr)
+		if err != nil || v < 0 {
+			return SchedSpec{}, fmt.Errorf("bad argument %q for scheduler %q", argStr, name)
+		}
+		arg = v
+	}
+	return SchedSpec{Kind: e.kind, Arg: arg}, nil
+}
+
+// WarpFlagHelp documents ParseWarpPolicy's accepted names.
+const WarpFlagHelp = "lrr | gto | baws | two-level"
+
+// ParseWarpPolicy parses a warp-scheduler name.
+func ParseWarpPolicy(s string) (sm.Policy, error) {
+	switch s {
+	case "lrr":
+		return sm.PolicyLRR, nil
+	case "gto":
+		return sm.PolicyGTO, nil
+	case "baws":
+		return sm.PolicyBAWS, nil
+	case "two-level", "twolevel":
+		return sm.PolicyTwoLevel, nil
+	}
+	return 0, fmt.Errorf("unknown warp policy %q (want %s)", s, WarpFlagHelp)
+}
+
+// ScaleFlagHelp documents ParseScale's accepted names.
+const ScaleFlagHelp = "tiny | small | full"
+
+// ParseScale parses a problem-scale name.
+func ParseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "tiny", "test":
+		return workloads.ScaleTest, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "full":
+		return workloads.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want %s)", s, ScaleFlagHelp)
+}
+
+// ScaleName renders a scale for cache keys and reports.
+func ScaleName(sc workloads.Scale) string {
+	switch sc {
+	case workloads.ScaleTest:
+		return "tiny"
+	case workloads.ScaleSmall:
+		return "small"
+	case workloads.ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("scale-%d", int(sc))
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"gpusched/internal/gpu"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = NumCPU).
+	Workers int
+	// CacheDir, when non-empty, enables the on-disk result cache
+	// (conventionally results/.simcache).
+	CacheDir string
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// Stats counts how a Service satisfied its requests.
+type Stats struct {
+	// Simulated counts actual simulator executions.
+	Simulated int
+	// MemoHits counts requests satisfied by (or coalesced into) an
+	// earlier request with the same key.
+	MemoHits int
+	// DiskHits counts requests satisfied by the on-disk cache.
+	DiskHits int
+}
+
+// Service runs simulation requests. Identical requests are deduplicated via
+// singleflight — N concurrent submissions of one key simulate once and
+// share the outcome — and completed outcomes are memoized for the life of
+// the Service (and on disk when a cache directory is configured).
+type Service struct {
+	opt   Options
+	sem   chan struct{}
+	cache *diskCache
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	stats   Stats
+}
+
+// flight is one in-progress or completed simulation.
+type flight struct {
+	ready chan struct{} // closed when out/err are final
+	out   Outcome
+	err   error
+}
+
+// NewService builds a Service.
+func NewService(opt Options) *Service {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	s := &Service{
+		opt:     opt,
+		sem:     make(chan struct{}, workers),
+		flights: make(map[string]*flight),
+	}
+	if opt.CacheDir != "" {
+		s.cache = &diskCache{dir: opt.CacheDir}
+	}
+	return s
+}
+
+// Run executes (or recalls) one simulation. Errors are per-request: an
+// unknown workload, a kernel that does not fit the machine, a timed-out
+// run, or a canceled context fail this request without poisoning the
+// Service. Cancellation errors are not memoized, so a later identical
+// request runs afresh.
+func (s *Service) Run(ctx context.Context, req Request) (Outcome, error) {
+	key := req.Key()
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.stats.MemoHits++
+		s.mu.Unlock()
+		select {
+		case <-f.ready:
+			return f.out, f.err
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		}
+	}
+	f := &flight{ready: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.out, f.err = s.simulate(ctx, req, key)
+	if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+	}
+	close(f.ready)
+	return f.out, f.err
+}
+
+// RunAll submits every request concurrently (the worker pool bounds actual
+// simulations), waits for completion, and returns the first error. Use it
+// to warm the memo before assembling a report.
+func (s *Service) RunAll(ctx context.Context, reqs []Request) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			if _, err := s.Run(ctx, req); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(req)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// simulate is the cache-miss path: disk lookup, then a bounded simulator
+// execution.
+func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcome, error) {
+	if err := req.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	specs, err := req.kernels()
+	if err != nil {
+		return Outcome{}, err
+	}
+	if s.cache != nil {
+		if out, ok := s.cache.load(key); ok {
+			s.mu.Lock()
+			s.stats.DiskHits++
+			s.mu.Unlock()
+			return out, nil
+		}
+	}
+
+	// Bound concurrent simulations; give up the wait on cancellation.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
+
+	d := req.Sched.NewDispatcher()
+	g, err := gpu.New(req.config(), d, specs...)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)
+	}
+	raw, err := g.RunContext(ctx)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.stats.Simulated++
+	s.mu.Unlock()
+	if raw.TimedOut {
+		return Outcome{}, fmt.Errorf("sim: %s timed out after %d cycles", key, raw.Cycles)
+	}
+	out := Outcome{Result: raw}
+	if limits, ok := req.Sched.Limits(d); ok {
+		out.Limits = append([]int(nil), limits...)
+	}
+	if s.opt.Progress != nil {
+		fmt.Fprintf(s.opt.Progress, "ran %-40s %10d cycles\n", key, raw.Cycles)
+	}
+	if s.cache != nil {
+		s.cache.store(key, out)
+	}
+	return out, nil
+}
