@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test ci bench paper paper-small examples clean
+.PHONY: all build test ci bench paper paper-small examples serve clean
 
 all: build test
 
@@ -29,6 +29,10 @@ paper:
 
 paper-small:
 	go run ./cmd/paperbench -scale small -out results
+
+# Run the simulation daemon (HTTP job API on :8080; see README).
+serve:
+	go run ./cmd/gpuschedd
 
 examples:
 	go run ./examples/quickstart

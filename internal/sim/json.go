@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// requestJSON is the wire form of Request used by the HTTP daemon and any
+// other JSON client. Policies and scale travel as the same strings the CLI
+// flags accept ("lcs", "bcs:4", "gto", "tiny"), so a curl payload reads
+// like a gpusim invocation and round-trips through the one parser.
+type requestJSON struct {
+	Workloads     []string `json:"workloads"`
+	Sched         string   `json:"sched,omitempty"`
+	Warp          string   `json:"warp,omitempty"`
+	Scale         string   `json:"scale,omitempty"`
+	Cores         int      `json:"cores,omitempty"`
+	L1Bytes       int      `json:"l1_bytes,omitempty"`
+	DRAMSchedFCFS bool     `json:"dram_fcfs,omitempty"`
+	MaxCycles     uint64   `json:"max_cycles,omitempty"`
+}
+
+// MarshalJSON renders the request in its wire form. The sched, warp, and
+// scale names are always emitted (never empty), so a marshaled request is
+// self-describing even where the Go zero values applied.
+func (r Request) MarshalJSON() ([]byte, error) {
+	return json.Marshal(requestJSON{
+		Workloads:     r.Workloads,
+		Sched:         r.Sched.String(),
+		Warp:          r.Warp.String(),
+		Scale:         ScaleName(r.Scale),
+		Cores:         r.Cores,
+		L1Bytes:       r.L1Bytes,
+		DRAMSchedFCFS: r.DRAMSchedFCFS,
+		MaxCycles:     r.MaxCycles,
+	})
+}
+
+// UnmarshalJSON parses the wire form. Omitted or empty sched/warp/scale
+// fields keep the Go zero values (baseline, lrr, tiny); anything present
+// goes through the canonical parsers, so bad spellings fail loudly with
+// the same messages the CLI flags produce. Unknown JSON fields are
+// ignored, which lets callers decode envelope fields (timeouts, labels)
+// from the same byte stream.
+func (r *Request) UnmarshalJSON(data []byte) error {
+	var w requestJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sim: bad request JSON: %w", err)
+	}
+	var out Request
+	out.Workloads = w.Workloads
+	if w.Sched != "" {
+		s, err := ParseSched(w.Sched)
+		if err != nil {
+			return fmt.Errorf("sim: request sched: %w", err)
+		}
+		out.Sched = s
+	}
+	if w.Warp != "" {
+		p, err := ParseWarpPolicy(w.Warp)
+		if err != nil {
+			return fmt.Errorf("sim: request warp: %w", err)
+		}
+		out.Warp = p
+	}
+	if w.Scale != "" {
+		sc, err := ParseScale(w.Scale)
+		if err != nil {
+			return fmt.Errorf("sim: request scale: %w", err)
+		}
+		out.Scale = sc
+	}
+	if w.Cores < 0 {
+		return fmt.Errorf("sim: request cores must be >= 0 (got %d)", w.Cores)
+	}
+	if w.L1Bytes < 0 {
+		return fmt.Errorf("sim: request l1_bytes must be >= 0 (got %d)", w.L1Bytes)
+	}
+	out.Cores = w.Cores
+	out.L1Bytes = w.L1Bytes
+	out.DRAMSchedFCFS = w.DRAMSchedFCFS
+	out.MaxCycles = w.MaxCycles
+	*r = out
+	return nil
+}

@@ -19,7 +19,16 @@ type Options struct {
 	// (conventionally results/.simcache).
 	CacheDir string
 	// Progress, when non-nil, receives one line per completed simulation.
+	// Writes are serialized by the Service, so the writer itself need not
+	// be goroutine-safe and lines never interleave.
 	Progress io.Writer
+	// MaxFlights bounds the in-memory memo of completed outcomes
+	// (0 = unbounded, the right choice for one-shot CLIs). When the memo
+	// would exceed the cap, the oldest completed flights are evicted;
+	// in-progress flights are never evicted, so singleflight deduplication
+	// is unaffected. A configured disk cache still backstops re-runs of
+	// evicted results. Long-lived daemons should set this.
+	MaxFlights int
 }
 
 // Stats counts how a Service satisfied its requests.
@@ -31,6 +40,9 @@ type Stats struct {
 	MemoHits int
 	// DiskHits counts requests satisfied by the on-disk cache.
 	DiskHits int
+	// Evicted counts completed flights dropped from the memo by the
+	// MaxFlights cap.
+	Evicted int
 }
 
 // Service runs simulation requests. Identical requests are deduplicated via
@@ -44,7 +56,14 @@ type Service struct {
 
 	mu      sync.Mutex
 	flights map[string]*flight
-	stats   Stats
+	// done holds completed flight keys in completion order; it is the
+	// eviction queue consulted when MaxFlights caps the memo.
+	done  []string
+	stats Stats
+
+	// progressMu serializes Options.Progress writes: simulations complete
+	// on many worker goroutines at once.
+	progressMu sync.Mutex
 }
 
 // flight is one in-progress or completed simulation.
@@ -94,37 +113,52 @@ func (s *Service) Run(ctx context.Context, req Request) (Outcome, error) {
 	s.mu.Unlock()
 
 	f.out, f.err = s.simulate(ctx, req, key)
+	s.mu.Lock()
 	if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
-		s.mu.Lock()
 		delete(s.flights, key)
-		s.mu.Unlock()
+	} else {
+		s.done = append(s.done, key)
+		s.evictLocked()
 	}
+	s.mu.Unlock()
 	close(f.ready)
 	return f.out, f.err
 }
 
+// evictLocked enforces Options.MaxFlights by dropping the oldest completed
+// flights. In-progress flights are never in the done queue, so they are
+// never evicted. Callers hold s.mu.
+func (s *Service) evictLocked() {
+	max := s.opt.MaxFlights
+	if max <= 0 {
+		return
+	}
+	for len(s.flights) > max && len(s.done) > 0 {
+		key := s.done[0]
+		s.done = s.done[1:]
+		if _, ok := s.flights[key]; ok {
+			delete(s.flights, key)
+			s.stats.Evicted++
+		}
+	}
+}
+
 // RunAll submits every request concurrently (the worker pool bounds actual
-// simulations), waits for completion, and returns the first error. Use it
-// to warm the memo before assembling a report.
+// simulations), waits for completion, and returns every failure joined via
+// errors.Join — a report over N requests names all the broken ones, not
+// just the first. Use it to warm the memo before assembling a report.
 func (s *Service) RunAll(ctx context.Context, reqs []Request) error {
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, req := range reqs {
+	errs := make([]error, len(reqs)) // one slot per request: no lock needed
+	for i, req := range reqs {
 		wg.Add(1)
-		go func(req Request) {
+		go func(i int, req Request) {
 			defer wg.Done()
-			if _, err := s.Run(ctx, req); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(req)
+			_, errs[i] = s.Run(ctx, req)
+		}(i, req)
 	}
 	wg.Wait()
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // Stats returns a snapshot of the request counters.
@@ -181,7 +215,9 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 		out.Limits = append([]int(nil), limits...)
 	}
 	if s.opt.Progress != nil {
+		s.progressMu.Lock()
 		fmt.Fprintf(s.opt.Progress, "ran %-40s %10d cycles\n", key, raw.Cycles)
+		s.progressMu.Unlock()
 	}
 	if s.cache != nil {
 		s.cache.store(key, out)

@@ -1,7 +1,9 @@
 package sim_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"sync"
@@ -294,13 +296,150 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	}
 }
 
-func TestRunAllPropagatesFirstError(t *testing.T) {
+// TestRunAllJoinsAllErrors: RunAll must surface every failure, not just
+// the first — paperbench reports each broken experiment by name.
+func TestRunAllJoinsAllErrors(t *testing.T) {
 	svc := sim.NewService(sim.Options{})
 	reqs := []sim.Request{
 		tinyRequest("vadd", sim.Baseline()),
 		tinyRequest("no-such-workload", sim.Baseline()),
+		tinyRequest("also-missing", sim.Baseline()),
 	}
-	if err := svc.RunAll(context.Background(), reqs); err == nil {
-		t.Fatal("RunAll swallowed the error")
+	err := svc.RunAll(context.Background(), reqs)
+	if err == nil {
+		t.Fatal("RunAll swallowed the errors")
+	}
+	for _, want := range []string{"no-such-workload", "also-missing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q does not name %q", err, want)
+		}
+	}
+	if err := svc.RunAll(context.Background(), []sim.Request{tinyRequest("vadd", sim.Baseline())}); err != nil {
+		t.Errorf("all-good RunAll returned %v", err)
+	}
+}
+
+// TestProgressWritesSerialized: concurrent simulations share one Progress
+// writer; the Service must serialize writes (a bytes.Buffer is not
+// goroutine-safe — the race detector enforces this) and keep lines whole.
+func TestProgressWritesSerialized(t *testing.T) {
+	var buf bytes.Buffer
+	svc := sim.NewService(sim.Options{Progress: &buf})
+	names := []string{"vadd", "spmv", "stencil", "reduce"}
+	var reqs []sim.Request
+	for _, n := range names {
+		reqs = append(reqs, tinyRequest(n, sim.Baseline()))
+	}
+	if err := svc.RunAll(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(names) {
+		t.Fatalf("got %d progress lines, want %d:\n%s", len(lines), len(names), buf.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "ran ") || !strings.HasSuffix(l, "cycles") {
+			t.Errorf("interleaved or malformed progress line %q", l)
+		}
+	}
+}
+
+// TestFlightEviction: with MaxFlights set, completed flights are evicted
+// oldest-first, counted in Stats, and a re-run of an evicted request
+// simulates afresh (no disk cache here to backstop).
+func TestFlightEviction(t *testing.T) {
+	svc := sim.NewService(sim.Options{MaxFlights: 1})
+	ctx := context.Background()
+	a := tinyRequest("vadd", sim.Baseline())
+	b := tinyRequest("spmv", sim.Baseline())
+	for _, r := range []sim.Request{a, b} {
+		if _, err := svc.Run(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := svc.Stats(); st.Evicted != 1 {
+		t.Fatalf("after 2 runs at cap 1: Evicted = %d, want 1", st.Evicted)
+	}
+	// a was evicted: running it again is a fresh simulation, not a memo hit.
+	if _, err := svc.Run(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Simulated != 3 || st.MemoHits != 0 {
+		t.Fatalf("stats after re-run = %+v, want 3 simulated, 0 memo hits", st)
+	}
+	// b is now the evicted one; the still-memoized a re-run memo-hits.
+	if _, err := svc.Run(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.MemoHits != 1 {
+		t.Fatalf("memoized re-run stats = %+v, want 1 memo hit", st)
+	}
+}
+
+// TestFlightEvictionDiskBackstop: an evicted flight whose outcome reached
+// the disk cache is recalled from disk, not resimulated.
+func TestFlightEvictionDiskBackstop(t *testing.T) {
+	svc := sim.NewService(sim.Options{MaxFlights: 1, CacheDir: t.TempDir()})
+	ctx := context.Background()
+	a := tinyRequest("vadd", sim.Baseline())
+	b := tinyRequest("spmv", sim.Baseline())
+	for _, r := range []sim.Request{a, b, a} {
+		if _, err := svc.Run(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Simulated != 2 || st.DiskHits != 1 || st.Evicted < 1 {
+		t.Fatalf("stats = %+v, want 2 simulated, 1 disk hit, >=1 evicted", st)
+	}
+}
+
+// TestRequestJSONRoundTrip: the wire form must preserve request identity —
+// unmarshal(marshal(r)) has r's cache key — and reject bad spellings.
+func TestRequestJSONRoundTrip(t *testing.T) {
+	reqs := []sim.Request{
+		{},
+		tinyRequest("vadd", sim.Baseline()),
+		tinyRequest("spmv", sim.BCS(4)),
+		{
+			Workloads: []string{"stencil", "vadd"}, Sched: sim.Static(3),
+			Warp: sm.PolicyBAWS, Scale: workloads.ScaleSmall,
+			Cores: 8, L1Bytes: 16 << 10, DRAMSchedFCFS: true, MaxCycles: 5000,
+		},
+	}
+	for _, r := range reqs {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", r, err)
+		}
+		var back sim.Request
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Key() != r.Key() {
+			t.Errorf("round trip changed key: %q -> %q (wire %s)", r.Key(), back.Key(), data)
+		}
+	}
+	// Omitted fields keep zero-value defaults; the canonical parsers gate
+	// bad spellings; envelope fields are ignored.
+	var min sim.Request
+	if err := json.Unmarshal([]byte(`{"workloads":["vadd"],"timeout_ms":5}`), &min); err != nil {
+		t.Fatal(err)
+	}
+	if min.Key() != (sim.Request{Workloads: []string{"vadd"}}).Key() {
+		t.Errorf("minimal request key = %q", min.Key())
+	}
+	for _, bad := range []string{
+		`{"workloads":["vadd"],"sched":"nope"}`,
+		`{"workloads":["vadd"],"warp":"nope"}`,
+		`{"workloads":["vadd"],"scale":"nope"}`,
+		`{"workloads":["vadd"],"cores":-1}`,
+		`{"workloads":"vadd"}`,
+	} {
+		var r sim.Request
+		if err := json.Unmarshal([]byte(bad), &r); err == nil {
+			t.Errorf("unmarshal accepted %s", bad)
+		}
 	}
 }
