@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test ci bench paper paper-small examples serve clean
+.PHONY: all build test ci bench bench-all paper paper-small examples serve clean
 
 all: build test
 
@@ -19,8 +19,14 @@ ci:
 	go test -race ./...
 	go test -run='^$$' -fuzz=FuzzKernel -fuzztime=10s .
 
-# One benchmark per reproduced table/figure plus microbenchmarks.
+# Headline benchmarks (simulator throughput + two figure experiments),
+# recorded as JSON so CI can diff against the committed baseline.
 bench:
+	go test -run='^$$' -bench 'SimulatorThroughput|Fig5|Fig8' -benchtime=1x -benchmem . | tee /tmp/gpusched_bench.out
+	go run ./cmd/benchjson -out results/BENCH_3.json < /tmp/gpusched_bench.out
+
+# One benchmark per reproduced table/figure plus microbenchmarks.
+bench-all:
 	go test -bench=. -benchmem ./...
 
 # Regenerate every table/figure at full scale (CSV in results/).

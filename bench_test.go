@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"gpusched"
+	"gpusched/internal/gpu"
 	"gpusched/internal/harness"
+	"gpusched/internal/sim"
 	"gpusched/internal/workloads"
 )
 
@@ -84,18 +86,38 @@ func BenchmarkFig11Sensitivity(b *testing.B)      { runExperiment(b, "fig11", -1
 func BenchmarkFig12WarpSched(b *testing.B)        { runExperiment(b, "fig12", 3, "geomean-speedup") }
 func BenchmarkFig13PriorWork(b *testing.B)        { runExperiment(b, "fig13", 3, "geomean-speedup") }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
-// cycles per wall second on a mid-weight workload.
+// BenchmarkSimulatorThroughput measures raw simulation speed — simulated
+// cycles per wall second — on the two shapes that bracket the simulator's
+// behaviour: a stall-heavy dependent-load chase where every resident warp
+// spends most cycles memory-blocked (the event-horizon fast-forward's
+// target), and a mid-weight stencil that keeps the issue logic busy.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	w, _ := gpusched.WorkloadByName("stencil")
-	cfg := gpusched.DefaultConfig()
-	b.ResetTimer()
-	var cycles uint64
-	for i := 0; i < b.N; i++ {
-		res := gpusched.MustRun(cfg, gpusched.Baseline(), w.Kernel(gpusched.SizeTiny))
-		cycles += res.Cycles
-	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.Run("stall-heavy", func(b *testing.B) {
+		cfg := gpu.DefaultConfig()
+		var cycles uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g, err := gpu.New(cfg, sim.Baseline().NewDispatcher(), workloads.ChaseSpec(1, 1, 1024))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			cycles += g.Run().Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	})
+	b.Run("stencil", func(b *testing.B) {
+		w, _ := gpusched.WorkloadByName("stencil")
+		cfg := gpusched.DefaultConfig()
+		var cycles uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := gpusched.MustRun(cfg, gpusched.Baseline(), w.Kernel(gpusched.SizeTiny))
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	})
 }
 
 // BenchmarkSchedulerOverheads compares the dispatch policies' wall cost on

@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// record and compares two such records benchstat-style. It exists so CI can
+// commit a benchmark baseline (results/BENCH_*.json) and report drift
+// against it without external tooling.
+//
+//	go test -bench . -benchmem | benchjson -out results/BENCH_3.json
+//	benchjson -compare results/BENCH_2.json results/BENCH_3.json
+//
+// The JSON maps benchmark name (GOMAXPROCS suffix stripped) to its metrics:
+// ns/op always, plus B/op, allocs/op, and any custom b.ReportMetric units
+// (simcycles/s, geomean-speedup, ...). When a benchmark appears several
+// times (-count > 1) the metrics are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is the persisted benchmark snapshot.
+type Record struct {
+	// Benchmarks maps benchmark name to unit ("ns/op", "simcycles/s", ...)
+	// to value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write parsed JSON to this file (default stdout)")
+		compare = flag.Bool("compare", false, "compare two JSON records: benchjson -compare old.json new.json")
+	)
+	flag.Parse()
+	if err := run(*out, *compare, flag.Args(), os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, compare bool, args []string, stdin io.Reader, stdout io.Writer) error {
+	if compare {
+		if len(args) != 2 {
+			return fmt.Errorf("-compare needs exactly two files, got %d", len(args))
+		}
+		return runCompare(args[0], args[1], stdout)
+	}
+	rec, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// Parse extracts benchmark results from `go test -bench` output. Lines it
+// does not recognize are ignored, so the full test output can be piped in.
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{Benchmarks: map[string]map[string]float64{}}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  20  123 ns/op  456 custom/unit  [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark* text
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		counts[name]++
+		if prev, ok := rec.Benchmarks[name]; ok {
+			// Running mean over -count repetitions.
+			n := float64(counts[name])
+			for unit, v := range metrics {
+				prev[unit] += (v - prev[unit]) / n
+			}
+		} else {
+			rec.Benchmarks[name] = metrics
+		}
+	}
+	return rec, sc.Err()
+}
+
+func load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// runCompare prints a benchstat-style delta table. A missing old file is
+// reported but not an error, so CI works on the first run that establishes
+// a baseline.
+func runCompare(oldPath, newPath string, w io.Writer) error {
+	oldRec, err := load(oldPath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(w, "no baseline %s; nothing to compare\n", oldPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range oldRec.Benchmarks {
+		if _, ok := newRec.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "no common benchmarks")
+		return nil
+	}
+
+	fmt.Fprintf(w, "%-50s %-12s %14s %14s %9s\n", "name", "unit", "old", "new", "delta")
+	for _, name := range names {
+		o, n := oldRec.Benchmarks[name], newRec.Benchmarks[name]
+		var units []string
+		for unit := range o {
+			if _, ok := n[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			delta := "~"
+			if o[unit] != 0 {
+				delta = fmt.Sprintf("%+.2f%%", (n[unit]-o[unit])/o[unit]*100)
+			}
+			fmt.Fprintf(w, "%-50s %-12s %14.6g %14.6g %9s\n", name, unit, o[unit], n[unit], delta)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkSimulatorThroughput/stall-heavy-8         	      20	   4000000 ns/op	  14000000 simcycles/s
+BenchmarkSimulatorThroughput/stall-heavy-8         	      20	   2000000 ns/op	  10000000 simcycles/s
+BenchmarkFig5LCS-8                                 	       1	 900000000 ns/op	     1.15 geomean-speedup	  360338 B/op	    3151 allocs/op
+PASS
+ok  	gpusched	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, ok := rec.Benchmarks["SimulatorThroughput/stall-heavy"]
+	if !ok {
+		t.Fatalf("missing throughput benchmark: %v", rec.Benchmarks)
+	}
+	if th["ns/op"] != 3000000 || th["simcycles/s"] != 12000000 {
+		t.Errorf("repeated runs not averaged: %v", th)
+	}
+	fig5 := rec.Benchmarks["Fig5LCS"]
+	if fig5["geomean-speedup"] != 1.15 || fig5["allocs/op"] != 3151 {
+		t.Errorf("custom/benchmem metrics wrong: %v", fig5)
+	}
+}
+
+func TestRoundTripAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := run(oldPath, false, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sample, "4000000 ns/op", "1000000 ns/op")
+	faster = strings.ReplaceAll(faster, "2000000 ns/op", "1000000 ns/op")
+	if err := run(newPath, false, nil, strings.NewReader(faster), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run("", true, []string{oldPath, newPath}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SimulatorThroughput/stall-heavy") || !strings.Contains(out, "-66.67%") {
+		t.Errorf("comparison missing expected delta:\n%s", out)
+	}
+}
+
+func TestCompareMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	newPath := filepath.Join(dir, "new.json")
+	if err := run(newPath, false, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run("", true, []string{filepath.Join(dir, "absent.json"), newPath}, nil, &buf)
+	if err != nil {
+		t.Fatalf("missing baseline must not fail CI: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no baseline") {
+		t.Errorf("expected baseline notice, got %q", buf.String())
+	}
+	if _, statErr := os.Stat(newPath); statErr != nil {
+		t.Fatal(statErr)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxTimeout  = fs.Duration("max-timeout", 0, "cap on client-requested job deadlines (0 = uncapped)")
 		syncTimeout = fs.Duration("sync-timeout", 2*time.Minute, "deadline for POST /v1/simulate")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		pprofAddr   = fs.String("pprof", "", "listen address for net/http/pprof (empty = disabled)")
 		verbose     = fs.Bool("v", false, "log each completed simulation")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ResultTTL:      *ttl,
 		SyncTimeout:    *syncTimeout,
 	})
+
+	// The profiling endpoints live on their own listener so the public
+	// job API never exposes them; net/http/pprof registers its handlers
+	// on http.DefaultServeMux at import.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpuschedd: pprof: %v\n", err)
+			return 1
+		}
+		defer pln.Close()
+		go func() { _ = http.Serve(pln, nil) }()
+		fmt.Fprintf(stdout, "gpuschedd pprof listening on %s\n", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

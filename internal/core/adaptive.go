@@ -99,6 +99,10 @@ func (a *AdaptiveLCS) Tick(m Machine) {
 	}
 }
 
+// NextDispatchEvent implements FastForwarder: like LCS, every internal
+// transition (initial decision, probe step, lock) happens in OnCTAComplete.
+func (a *AdaptiveLCS) NextDispatchEvent(uint64) uint64 { return NeverEvent }
+
 // OnCTAComplete implements Dispatcher.
 func (a *AdaptiveLCS) OnCTAComplete(m Machine, coreID int, cta *sm.CTA) {
 	a.ensure(m.NumCores())

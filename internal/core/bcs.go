@@ -93,6 +93,10 @@ func canAcceptN(c *sm.SM, ks *KernelState, n int) bool {
 	return c.Usage().Add(ks.Spec, n).Fits(c.Limits())
 }
 
+// NextDispatchEvent implements FastForwarder: gang/filler bookkeeping moves
+// only on placements and completions.
+func (b *BCS) NextDispatchEvent(uint64) uint64 { return NeverEvent }
+
 // OnCTAComplete implements Dispatcher: retiring fillers reopen their slot.
 func (b *BCS) OnCTAComplete(m Machine, coreID int, cta *sm.CTA) {
 	if cta.IndexInBlock == fillerIndex && coreID < len(b.unpaired) {

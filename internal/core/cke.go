@@ -40,6 +40,10 @@ func (s *Sequential) Tick(m Machine) {
 // OnCTAComplete implements Dispatcher.
 func (s *Sequential) OnCTAComplete(Machine, int, *sm.CTA) {}
 
+// NextDispatchEvent implements FastForwarder: the kernel barrier advances
+// only when a CTA completes.
+func (s *Sequential) NextDispatchEvent(uint64) uint64 { return NeverEvent }
+
 // Spatial is inter-core concurrent kernel execution: the SMs are statically
 // partitioned between two kernels, each side filled to maximal occupancy.
 // This models the leftover/spatial CKE the paper compares mixed execution
@@ -84,6 +88,9 @@ func (s *Spatial) Tick(m Machine) {
 
 // OnCTAComplete implements Dispatcher.
 func (s *Spatial) OnCTAComplete(Machine, int, *sm.CTA) {}
+
+// NextDispatchEvent implements FastForwarder: the core partition is static.
+func (s *Spatial) NextDispatchEvent(uint64) uint64 { return NeverEvent }
 
 // Mixed is the paper's mixed concurrent kernel execution: both kernels
 // co-reside on every SM. Kernel 0 (typically the one whose LCS profile
@@ -139,3 +146,6 @@ func (x *Mixed) limitA() int {
 
 // OnCTAComplete implements Dispatcher.
 func (x *Mixed) OnCTAComplete(Machine, int, *sm.CTA) {}
+
+// NextDispatchEvent implements FastForwarder: LimitA is fixed for the run.
+func (x *Mixed) NextDispatchEvent(uint64) uint64 { return NeverEvent }

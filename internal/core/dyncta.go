@@ -138,6 +138,27 @@ func (d *DynCTA) minLimit() int {
 	return d.MinLimit
 }
 
+// NextDispatchEvent implements FastForwarder. Unlike the pure policies,
+// DynCTA's Tick does time-driven work: once a core's allowance is
+// initialized, its controller fires when now reaches lastEpoch+EpochCycles.
+// The skip bound is therefore the earliest epoch boundary over initialized
+// cores; uninitialized cores only change state on completions.
+func (d *DynCTA) NextDispatchEvent(now uint64) uint64 {
+	next := uint64(NeverEvent)
+	for i, lim := range d.limit {
+		if lim == 0 {
+			continue
+		}
+		if at := d.lastEpoch[i] + d.epoch(); at < next {
+			next = at
+		}
+	}
+	if next < now {
+		return now // boundary already due: no skip
+	}
+	return next
+}
+
 // OnCTAComplete implements Dispatcher: the first completion on a core
 // initializes its allowance to the occupancy it was running at.
 func (d *DynCTA) OnCTAComplete(m Machine, coreID int, cta *sm.CTA) {

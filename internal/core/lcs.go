@@ -99,6 +99,10 @@ func (l *LCS) Tick(m Machine) {
 	}
 }
 
+// NextDispatchEvent implements FastForwarder: limits change only in
+// OnCTAComplete, and placement reads only machine state.
+func (l *LCS) NextDispatchEvent(uint64) uint64 { return NeverEvent }
+
 // OnCTAComplete implements Dispatcher: the first completion on a core ends
 // its sampling epoch and fixes the limit.
 func (l *LCS) OnCTAComplete(m Machine, coreID int, cta *sm.CTA) {

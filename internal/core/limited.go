@@ -44,3 +44,6 @@ func (l *Limited) Tick(m Machine) {
 
 // OnCTAComplete implements Dispatcher.
 func (l *Limited) OnCTAComplete(Machine, int, *sm.CTA) {}
+
+// NextDispatchEvent implements FastForwarder: the static cap is read-only.
+func (l *Limited) NextDispatchEvent(uint64) uint64 { return NeverEvent }

@@ -24,8 +24,18 @@ type Config struct {
 	// Mem is the shared memory-system configuration.
 	Mem mem.Config
 	// MaxCycles aborts runaway simulations; Result.TimedOut is set.
+	// Zero means DefaultMaxCycles.
 	MaxCycles uint64
+	// DisableFastForward forces the reference cycle-by-cycle loop, never
+	// skipping provably-idle stretches. Results are bit-identical either
+	// way — the flag exists so tests can prove exactly that, and so
+	// suspected fast-forward bugs can be bisected against the reference.
+	DisableFastForward bool
 }
+
+// DefaultMaxCycles is the runaway-simulation cap applied when
+// Config.MaxCycles is zero — the single definition every layer shares.
+const DefaultMaxCycles uint64 = 20_000_000
 
 // DefaultConfig returns the Fermi-class (GTX480 ballpark) GPU used by the
 // paper-reproduction experiments: 15 SMs, 2 schedulers each, 6 memory
@@ -35,7 +45,7 @@ func DefaultConfig() Config {
 		NumCores:  15,
 		Core:      sm.DefaultConfig(),
 		Mem:       mem.DefaultConfig(),
-		MaxCycles: 20_000_000,
+		MaxCycles: DefaultMaxCycles,
 	}
 }
 
@@ -85,6 +95,17 @@ type GPU struct {
 	// epochFn, when set, runs every epochEvery cycles (tracing hooks).
 	epochFn    func(now uint64)
 	epochEvery uint64
+	// ctaEvent records that a CTA retired during the current cycle; with
+	// the placement and issue counters it decides whether the cycle was
+	// idle and the loop may consult the event horizon.
+	ctaEvent bool
+	// ffNextTry/ffBackoff throttle horizon probes. Probing costs real work
+	// (every scheduler and memory queue is consulted), so an attempt that
+	// finds nothing to skip doubles the wait before the next attempt; a
+	// productive skip resets it. Busy phases therefore pay a bounded,
+	// vanishing probe overhead while stall phases skip at full fidelity.
+	ffNextTry uint64
+	ffBackoff uint64
 }
 
 // New builds a GPU running specs (in launch order) under dispatcher d.
@@ -156,6 +177,7 @@ func (g *GPU) Core(i int) *sm.SM { return g.cores[i] }
 func (g *GPU) Kernels() []*core.KernelState { return g.kernels }
 
 func (g *GPU) onCTADone(coreID int, cta *sm.CTA) {
+	g.ctaEvent = true
 	ks := g.kernels[cta.KernelIdx]
 	ks.Completed++
 	if ks.Done() {
@@ -183,10 +205,24 @@ const ctxCheckInterval = 4096
 // RunContext is Run with cooperative cancellation: when ctx is canceled
 // the cycle loop stops mid-flight and the context's error is returned
 // alongside the partial result.
+//
+// The loop runs cycle-by-cycle while anything happens. After a cycle in
+// which no CTA was placed or retired and no instruction issued, it asks
+// every component for its event horizon — the earliest future cycle at
+// which it can act — and jumps straight there, accruing the skipped
+// cycles' stall counters through SM.FastForward. The jump is exact, not
+// approximate: every NextEvent bound is conservative and the skipped
+// window is provably frozen, so results are bit-identical to the
+// reference loop (Config.DisableFastForward selects it; the golden
+// determinism tests diff the two).
 func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles == 0 {
-		maxCycles = 20_000_000
+		maxCycles = DefaultMaxCycles
+	}
+	ff, _ := g.dispatcher.(core.FastForwarder)
+	if g.cfg.DisableFastForward {
+		ff = nil
 	}
 	done := ctx.Done()
 	for g.doneCount < len(g.kernels) && g.now < maxCycles {
@@ -200,14 +236,120 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 		if g.epochFn != nil && g.now%g.epochEvery == 0 {
 			g.epochFn(g.now)
 		}
+		dispatched := g.dispatchedCTAs()
+		issued := g.issuedTotal()
+		g.ctaEvent = false
 		g.dispatcher.Tick(g)
 		for _, c := range g.cores {
 			c.Tick(g.now)
 		}
 		g.memsys.Tick(g.now)
+		idle := ff != nil && !g.ctaEvent &&
+			g.dispatchedCTAs() == dispatched && g.issuedTotal() == issued
 		g.now++
+		if idle && g.now >= g.ffNextTry {
+			if skipped := g.fastForward(ff, done != nil, maxCycles); skipped == 0 {
+				if g.ffBackoff < maxFFBackoff {
+					g.ffBackoff = max2(2*g.ffBackoff, 2)
+				}
+				g.ffNextTry = g.now + g.ffBackoff
+			} else {
+				g.ffBackoff = 0
+			}
+		}
 	}
 	return g.collect(), nil
+}
+
+// dispatchedCTAs sums dispatched-CTA counts over the launch table; a delta
+// across a cycle means the dispatcher placed work.
+func (g *GPU) dispatchedCTAs() int {
+	n := 0
+	for _, ks := range g.kernels {
+		n += ks.NextCTA
+	}
+	return n
+}
+
+// issuedTotal sums issued instructions over all cores.
+func (g *GPU) issuedTotal() uint64 {
+	var n uint64
+	for _, c := range g.cores {
+		n += c.Stats.InstrIssued
+	}
+	return n
+}
+
+// maxFFBackoff bounds the probe backoff so a long busy phase ending in a
+// deep stall starts skipping again within a few hundred cycles. Only a
+// probe that skips nothing at all grows the backoff: memory round trips
+// ripple through the pipeline in short (1–4 cycle) hops between the long
+// DRAM windows, and punishing those small-but-real jumps starves the skip
+// chain exactly where it pays most.
+const maxFFBackoff = 256
+
+func max2(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fastForward jumps g.now to the machine's event horizon: the earliest
+// cycle at which the dispatcher, any core, or the memory hierarchy can act.
+// The skipped window [g.now, horizon) is provably frozen — the previous
+// cycle did nothing and no component wakes inside it — so each core merely
+// accrues the stall counters its Tick would have produced. The horizon is
+// clamped so no epoch-hook cycle (and, when cancellation is armed, no
+// context-check cycle) falls strictly inside the skipped window, and never
+// exceeds maxCycles: the cap cycle itself is never executed, matching the
+// reference loop's exit arithmetic. Returns how many cycles were skipped.
+func (g *GPU) fastForward(ff core.FastForwarder, clampCtx bool, maxCycles uint64) uint64 {
+	from := g.now
+	horizon := ff.NextDispatchEvent(from)
+	if ev := g.memsys.NextEvent(from); ev < horizon {
+		horizon = ev
+	}
+	if horizon <= from {
+		return 0
+	}
+	for _, c := range g.cores {
+		if ev := c.NextEvent(from); ev < horizon {
+			horizon = ev
+		}
+		if horizon <= from {
+			return 0
+		}
+	}
+	if horizon > maxCycles {
+		horizon = maxCycles
+	}
+	if g.epochFn != nil {
+		horizon = clampToBoundary(horizon, from, g.epochEvery)
+	}
+	if clampCtx {
+		horizon = clampToBoundary(horizon, from, ctxCheckInterval)
+	}
+	if horizon <= from {
+		return 0
+	}
+	for _, c := range g.cores {
+		c.FastForward(from, horizon)
+	}
+	g.now = horizon
+	return horizon - from
+}
+
+// clampToBoundary caps horizon so that no multiple of every lies in
+// [from, horizon): boundary cycles run hooks at the top of the loop, so
+// they must be executed, not skipped. A boundary at horizon itself is fine
+// — that cycle executes.
+func clampToBoundary(horizon, from, every uint64) uint64 {
+	next := from + (every-from%every)%every
+	if next < horizon {
+		return next
+	}
+	return horizon
 }
 
 func (g *GPU) collect() Result {

@@ -32,6 +32,11 @@ type Options struct {
 	// CacheDir, when non-empty, persists simulation results on disk
 	// (conventionally results/.simcache) so repeated runs skip them.
 	CacheDir string
+	// NoFastForward forces every simulation onto the reference
+	// cycle-by-cycle loop (see gpu.Config.DisableFastForward). The
+	// determinism tests run every experiment both ways and require
+	// identical tables.
+	NoFastForward bool
 }
 
 // Table is one rendered experiment.
@@ -128,11 +133,12 @@ func (h *Harness) single(name string, sched sim.SchedSpec, policy sm.Policy) sim
 // multi builds a multi-kernel request at the harness's scale/core count.
 func (h *Harness) multi(names []string, sched sim.SchedSpec, policy sm.Policy) sim.Request {
 	return sim.Request{
-		Workloads: names,
-		Sched:     sched,
-		Warp:      policy,
-		Scale:     h.opt.Scale,
-		Cores:     h.opt.Cores,
+		Workloads:     names,
+		Sched:         sched,
+		Warp:          policy,
+		Scale:         h.opt.Scale,
+		Cores:         h.opt.Cores,
+		NoFastForward: h.opt.NoFastForward,
 	}
 }
 

@@ -2,10 +2,14 @@ package mem
 
 import "gpusched/internal/stats"
 
-// dramReq is a queued DRAM transaction.
+// dramReq is a queued DRAM transaction. The bank/row mapping is fixed by
+// the line address, so it is computed once at enqueue rather than on every
+// FR-FCFS scan.
 type dramReq struct {
 	req     Request
 	arrived uint64
+	bank    int
+	row     uint64
 }
 
 // DRAMChannel models one GDDR channel: a bounded request queue scheduled
@@ -21,10 +25,20 @@ type DRAMChannel struct {
 	linesPerRow uint64
 	// busFreeAt is when the data bus can start the next transfer.
 	busFreeAt uint64
+	// nextSchedAt caches the outcome of an empty FR-FCFS scan: no queued
+	// request's bank frees before this cycle, so Tick skips the scan until
+	// then. Bank states only change when a request is scheduled (impossible
+	// while every candidate bank is busy) and Enqueue resets the bound, so
+	// the gate never alters a scheduling decision.
+	nextSchedAt uint64
 	// onComplete receives finished read requests (loads/atomics).
 	onComplete func(req Request, now uint64)
 	// completions holds in-flight transfers ordered by finish time.
 	completions []dramCompletion
+	// inflight, when bound, is the owning System's in-flight request count;
+	// a write leaves the hierarchy the cycle its burst is scheduled, so the
+	// channel decrements it there. Nil for standalone channels (tests).
+	inflight *int
 
 	Stats stats.DRAM
 }
@@ -61,7 +75,9 @@ func (d *DRAMChannel) Enqueue(req Request, now uint64) {
 	if !d.CanAccept() {
 		panic("mem: DRAM enqueue past capacity")
 	}
-	d.queue = append(d.queue, dramReq{req: req, arrived: now})
+	bank, row := d.bankAndRow(req.LineAddr)
+	d.queue = append(d.queue, dramReq{req: req, arrived: now, bank: bank, row: row})
+	d.nextSchedAt = 0
 }
 
 // QueueLen returns the number of waiting (unscheduled) requests.
@@ -94,18 +110,18 @@ func (d *DRAMChannel) Tick(now uint64) {
 		}
 	}
 
-	if len(d.queue) == 0 {
+	if len(d.queue) == 0 || now < d.nextSchedAt {
 		return
 	}
 	pick := -1
 	pickHit := false
-	for i, qr := range d.queue {
-		bank, row := d.bankAndRow(qr.req.LineAddr)
-		b := &d.banks[bank]
+	for i := range d.queue {
+		qr := &d.queue[i]
+		b := &d.banks[qr.bank]
 		if b.freeAt > now {
 			continue
 		}
-		hit := b.rowValid && b.openRow == row
+		hit := b.rowValid && b.openRow == qr.row
 		if d.cfg.DRAMSchedFCFS {
 			// Strict arrival order: take the oldest serviceable request.
 			pick, pickHit = i, hit
@@ -121,13 +137,22 @@ func (d *DRAMChannel) Tick(now uint64) {
 		}
 	}
 	if pick == -1 {
-		return // all candidate banks busy
+		// All candidate banks busy: nothing schedules until the earliest
+		// of their free times, so park the scan there.
+		next := uint64(NeverEvent)
+		for i := range d.queue {
+			if at := d.banks[d.queue[i].bank].freeAt; at < next {
+				next = at
+			}
+		}
+		d.nextSchedAt = next
+		return
 	}
 	qr := d.queue[pick]
 	copy(d.queue[pick:], d.queue[pick+1:])
 	d.queue = d.queue[:len(d.queue)-1]
 
-	bank, row := d.bankAndRow(qr.req.LineAddr)
+	bank, row := qr.bank, qr.row
 	b := &d.banks[bank]
 	act := uint64(0)
 	if pickHit {
@@ -154,6 +179,9 @@ func (d *DRAMChannel) Tick(now uint64) {
 	case ReqStore, reqWriteBack:
 		d.Stats.Writes++
 		// Writes complete silently once the burst drains.
+		if d.inflight != nil {
+			*d.inflight--
+		}
 	default:
 		d.Stats.Reads++
 		d.insertCompletion(dramCompletion{at: busEnd, req: qr.req})
@@ -173,6 +201,31 @@ func (d *DRAMChannel) insertCompletion(c dramCompletion) {
 // Drained reports whether no requests are queued or in flight.
 func (d *DRAMChannel) Drained() bool {
 	return len(d.queue) == 0 && len(d.completions) == 0
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick does work: the
+// head completion delivers (completions are sorted by finish time), or a
+// queued request's bank frees so the FR-FCFS scan can schedule it. Bank
+// free times only move when a request is scheduled, so within a frozen
+// window the earliest of them is exact.
+func (d *DRAMChannel) NextEvent(now uint64) uint64 {
+	next := uint64(NeverEvent)
+	if len(d.completions) > 0 {
+		if d.completions[0].at <= now {
+			return now
+		}
+		next = d.completions[0].at
+	}
+	for i := range d.queue {
+		at := d.banks[d.queue[i].bank].freeAt
+		if at <= now {
+			return now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 func max64(a, b uint64) uint64 {

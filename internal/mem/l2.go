@@ -31,8 +31,19 @@ type L2Partition struct {
 	wbBuf []Request
 	// lookupFreeAt models the tag-pipeline occupancy for atomics.
 	lookupFreeAt uint64
+	// inflight, when bound, is the owning System's in-flight request count;
+	// the partition adjusts it where requests are absorbed (store hits) or
+	// spawned (dirty write-backs). Nil for standalone partitions (tests).
+	inflight *int
 
 	Stats stats.Cache
+}
+
+// bindInflight attaches the System's in-flight counter to the partition and
+// its DRAM channel.
+func (p *L2Partition) bindInflight(ctr *int) {
+	p.inflight = ctr
+	p.dram.inflight = ctr
 }
 
 // NewL2Partition builds partition id.
@@ -62,6 +73,9 @@ func (p *L2Partition) onDRAMComplete(req Request, now uint64) {
 		if ev.Dirty {
 			p.Stats.WriteBacks++
 			p.wbBuf = append(p.wbBuf, Request{Kind: reqWriteBack, LineAddr: ev.LineAddr, Born: now})
+			if p.inflight != nil {
+				*p.inflight++
+			}
 		}
 	}
 	for _, tok := range p.mshr.Complete(req.LineAddr) {
@@ -141,6 +155,10 @@ func (p *L2Partition) handle(req Request, now uint64) bool {
 		p.Stats.Accesses++
 		if p.cache.Lookup(req.LineAddr, true) {
 			p.Stats.Hits++
+			// The store is absorbed by the L2: it leaves the hierarchy here.
+			if p.inflight != nil {
+				*p.inflight--
+			}
 			return true
 		}
 		p.Stats.Misses++
@@ -207,4 +225,39 @@ func (p *L2Partition) handleLoad(req Request, now uint64, atomic bool) bool {
 // Drained reports whether the partition holds no in-flight work.
 func (p *L2Partition) Drained() bool {
 	return len(p.out) == 0 && len(p.wbBuf) == 0 && p.mshr.Used() == 0 && p.dram.Drained()
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick(in) does work.
+// Each of the partition's per-cycle actions has a known wake time: the
+// response buffer is sorted by ready time; buffered write-backs retry the
+// moment DRAM has queue space; the DRAM channel reports its own bound; and
+// a ripe interconnect request is handled (mutating counters even when it
+// structurally stalls) as soon as the tag pipeline is free.
+func (p *L2Partition) NextEvent(now uint64, in *pipe[Request]) uint64 {
+	next := uint64(NeverEvent)
+	if len(p.out) > 0 {
+		if p.out[0].ready <= now {
+			return now
+		}
+		next = p.out[0].ready
+	}
+	if len(p.wbBuf) > 0 && p.dram.CanAccept() {
+		return now
+	}
+	if ev := p.dram.NextEvent(now); ev < next {
+		next = ev
+	}
+	if next <= now {
+		return now
+	}
+	if in.Len() > 0 {
+		at := max64(in.NextReady(), p.lookupFreeAt)
+		if at <= now {
+			return now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
 }

@@ -54,3 +54,13 @@ func (p *pipe[T]) Peek() T { return p.entries[0].val }
 
 // Len returns the number of buffered entries (ready or in flight).
 func (p *pipe[T]) Len() int { return len(p.entries) }
+
+// NextReady returns the cycle the head entry becomes poppable. The pipe is
+// FIFO with uniform latency, so no later entry can become poppable earlier.
+// Empty pipes return NeverEvent.
+func (p *pipe[T]) NextReady() uint64 {
+	if len(p.entries) == 0 {
+		return NeverEvent
+	}
+	return p.entries[0].ready
+}

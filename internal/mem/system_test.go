@@ -322,3 +322,81 @@ func TestPackWaiterRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDrainedCounterMatchesScan drives mixed traffic (loads, stores,
+// atomics, plus write-backs from dirty evictions) and checks every cycle
+// that the O(1) in-flight counter agrees with the structural scan it
+// replaced. Any request the counter leaks or double-frees diverges here.
+func TestDrainedCounterMatchesScan(t *testing.T) {
+	h := newHarness(t, func(c *Config) {
+		c.XbarQueueCap = 2
+		c.DRAMQueueCap = 2
+		c.L2MSHREntries = 2
+		c.L2BytesPerPartition = 4 * 128
+		c.L2Ways = 2
+	})
+	check := func() {
+		if got, want := h.sys.Drained(h.now), h.sys.drainedScan(); got != want {
+			t.Fatalf("cycle %d: Drained() = %t, scan = %t (inflight=%d)",
+				h.now, got, want, h.sys.inflight)
+		}
+	}
+	issued := 0
+	for h.now < 20000 && (issued < 48 || !h.sys.Drained(h.now)) {
+		if issued < 48 {
+			addr := uint64(issued) * uint64(h.cfg.LineBytes)
+			var res AccessResult
+			switch issued % 3 {
+			case 0:
+				res = h.l1.Load(addr, uint32(issued), h.now)
+			case 1:
+				res = h.l1.Store(addr, h.now)
+			default:
+				res = h.l1.Atomic(addr, uint32(issued), h.now)
+			}
+			if res != AccessStall {
+				issued++
+			}
+		}
+		if resp, ok := h.step(); ok {
+			h.l1.OnResponse(resp, resp.Atomic)
+		}
+		check()
+	}
+	if issued < 48 {
+		t.Fatalf("only issued %d/48 accesses", issued)
+	}
+	if !h.sys.Drained(h.now) {
+		t.Fatal("system never drained")
+	}
+	check()
+}
+
+// TestSystemNextEventBounds checks the event bound's two edges: a quiescent
+// hierarchy reports NeverEvent, and in-flight work always reports a finite
+// wake-up no earlier than now.
+func TestSystemNextEventBounds(t *testing.T) {
+	h := newHarness(t, nil)
+	if ev := h.sys.NextEvent(h.now); ev != NeverEvent {
+		t.Fatalf("quiescent NextEvent = %d, want NeverEvent", ev)
+	}
+	h.l1.Load(0, 7, h.now)
+	for !h.sys.Drained(h.now) {
+		ev := h.sys.NextEvent(h.now)
+		if ev == NeverEvent {
+			t.Fatalf("cycle %d: in-flight work but NextEvent = NeverEvent", h.now)
+		}
+		if ev < h.now {
+			t.Fatalf("cycle %d: NextEvent = %d in the past", h.now, ev)
+		}
+		if resp, ok := h.step(); ok {
+			h.l1.OnResponse(resp, false)
+		}
+		if h.now > 5000 {
+			t.Fatal("load never completed")
+		}
+	}
+	if ev := h.sys.NextEvent(h.now); ev != NeverEvent {
+		t.Fatalf("drained NextEvent = %d, want NeverEvent", ev)
+	}
+}

@@ -105,6 +105,10 @@ func writeMetrics(w io.Writer, ms managerStats, ss sim.Stats, cycles *histogram)
 	counter("gpuschedd_sim_memo_hits_total", "Requests coalesced into or satisfied by an in-memory flight.", uint64(ss.MemoHits))
 	counter("gpuschedd_sim_disk_hits_total", "Requests satisfied by the on-disk result cache.", uint64(ss.DiskHits))
 	counter("gpuschedd_sim_flights_evicted_total", "Completed flights evicted from the in-memory memo.", uint64(ss.Evicted))
+	counter("gpuschedd_sim_cycles_total", "Simulated cycles produced by the cycle loop.", ss.SimCycles)
+	fmt.Fprintf(w, "# HELP gpuschedd_sim_wall_seconds_total Wall-clock seconds spent inside the cycle loop.\n")
+	fmt.Fprintf(w, "# TYPE gpuschedd_sim_wall_seconds_total counter\n")
+	fmt.Fprintf(w, "gpuschedd_sim_wall_seconds_total %s\n", formatBound(ss.WallSeconds))
 
 	cycles.write(w, "gpuschedd_job_cycles", "Simulated cycles per completed job.")
 }

@@ -32,15 +32,27 @@ type Request struct {
 	DRAMSchedFCFS bool
 	// MaxCycles overrides the simulation bound (0 = the 20M default).
 	MaxCycles uint64
+	// NoFastForward forces the reference cycle-by-cycle loop instead of the
+	// event-horizon fast-forward. Results are bit-identical either way, but
+	// the flag must stay part of the cache identity: the determinism tests
+	// run both variants and each must actually simulate, not coalesce into
+	// the other's flight.
+	NoFastForward bool
 }
 
 // Key returns the canonical identity of the request: two requests with
 // equal keys simulate identically (the simulator is deterministic). It is
 // the memoization key of Service and, hashed, the on-disk cache filename.
 func (r Request) Key() string {
-	return fmt.Sprintf("w=%s|sched=%s|warp=%s|scale=%s|cores=%d|l1=%d|fcfs=%t|max=%d",
+	key := fmt.Sprintf("w=%s|sched=%s|warp=%s|scale=%s|cores=%d|l1=%d|fcfs=%t|max=%d",
 		strings.Join(r.Workloads, "+"), r.Sched, r.Warp,
 		ScaleName(r.Scale), r.Cores, r.L1Bytes, r.DRAMSchedFCFS, r.MaxCycles)
+	if r.NoFastForward {
+		// Appended rather than inlined so existing disk caches keep their
+		// keys for the default (fast-forwarding) variant.
+		key += "|noff=true"
+	}
+	return key
 }
 
 // Validate checks the request names known workloads and launches at least
@@ -84,6 +96,7 @@ func (r Request) config() gpu.Config {
 	if r.MaxCycles > 0 {
 		cfg.MaxCycles = r.MaxCycles
 	}
+	cfg.DisableFastForward = r.NoFastForward
 	return cfg
 }
 

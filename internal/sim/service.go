@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"gpusched/internal/gpu"
 )
@@ -43,6 +44,12 @@ type Stats struct {
 	// Evicted counts completed flights dropped from the memo by the
 	// MaxFlights cap.
 	Evicted int
+	// WallSeconds is the cumulative wall-clock time spent inside the cycle
+	// loop, and SimCycles the simulated cycles it produced. Their ratio is
+	// the service's observed simulation throughput (cycles per second) —
+	// the headline number the fast-forward work moves.
+	WallSeconds float64
+	SimCycles   uint64
 }
 
 // Service runs simulation requests. Identical requests are deduplicated via
@@ -200,7 +207,13 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)
 	}
+	start := time.Now()
 	raw, err := g.RunContext(ctx)
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.stats.WallSeconds += elapsed.Seconds()
+	s.stats.SimCycles += raw.Cycles
+	s.mu.Unlock()
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)
 	}

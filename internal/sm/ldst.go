@@ -222,3 +222,31 @@ func (u *ldstUnit) completeOne(t uint32, now uint64) {
 func (u *ldstUnit) busy() bool {
 	return len(u.queue) > 0 || len(u.hits) > 0 || len(u.free) < len(u.table)
 }
+
+// nextEvent returns the earliest cycle >= now at which tick does work on
+// its own: a ripe hit event (the hit list is pop-gated by its head, so the
+// head's time is the exact bound) or the queued head instruction. A global
+// head acts every cycle (it sends or retries a transaction, mutating stats
+// either way); a shared op mid-flight sleeps until finishAt. Transactions
+// parked in the pending table wake only on memory responses, which the
+// system's own bound covers.
+func (u *ldstUnit) nextEvent(now uint64) uint64 {
+	next := uint64(NeverEvent)
+	if len(u.hits) > 0 {
+		if u.hits[0].at <= now {
+			return now
+		}
+		next = u.hits[0].at
+	}
+	if len(u.queue) > 0 {
+		e := &u.queue[0]
+		if !e.wi.Op.IsGlobal() && e.finishAt > now {
+			if e.finishAt < next {
+				next = e.finishAt
+			}
+		} else {
+			return now
+		}
+	}
+	return next
+}

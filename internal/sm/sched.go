@@ -27,10 +27,31 @@ type scheduler struct {
 	active     []*Warp
 	pending    []*Warp
 	activeSize int
+	// longBlocked counts warps parked on a condition only an external event
+	// can clear (blockedMem or atBarrier). It is maintained on state
+	// transitions, so "every warp is parked" — the dominant state of
+	// memory-bound phases — is a single compare instead of a rescan.
+	longBlocked int
+	// byAge holds the warps sorted by policy age key, oldest first (equal
+	// keys in add order). Age keys are immutable after add, so the order
+	// only changes on add/remove/policy switch. Greedy-oldest picks walk it
+	// in order and stop at the first ready warp instead of evaluating every
+	// warp's readiness, and byAge[0] resolves stall attribution without a
+	// rescan.
+	byAge []*Warp
+}
+
+// oldestWarp returns the policy-oldest warp (nil when empty).
+func (s *scheduler) oldestWarp() *Warp {
+	if len(s.byAge) == 0 {
+		return nil
+	}
+	return s.byAge[0]
 }
 
 // add registers a warp with this scheduler.
 func (s *scheduler) add(w *Warp) {
+	w.sched = s
 	s.warps = append(s.warps, w)
 	if s.policy == PolicyTwoLevel {
 		if len(s.active) < s.activeCap() {
@@ -38,6 +59,37 @@ func (s *scheduler) add(w *Warp) {
 		} else {
 			s.pending = append(s.pending, w)
 		}
+	}
+	if w.blockedMem || w.atBarrier {
+		s.longBlocked++ // impossible for fresh warps; defensive for tests
+	}
+	s.insertByAge(w)
+}
+
+// insertByAge places w at its sorted position: after every strictly-older
+// warp and after any warp with an equal key (matching the old linear scan,
+// which kept the first-added warp on ties).
+func (s *scheduler) insertByAge(w *Warp) {
+	a1, a2, a3 := s.ageKey(w)
+	i := len(s.byAge)
+	for i > 0 {
+		b1, b2, b3 := s.ageKey(s.byAge[i-1])
+		if !ageLess(a1, a2, a3, b1, b2, b3) {
+			break
+		}
+		i--
+	}
+	s.byAge = append(s.byAge, nil)
+	copy(s.byAge[i+1:], s.byAge[i:])
+	s.byAge[i] = w
+}
+
+// rebuildAge re-sorts the age order from scratch (policy switch — never on
+// the per-cycle path).
+func (s *scheduler) rebuildAge() {
+	s.byAge = s.byAge[:0]
+	for _, w := range s.warps {
+		s.insertByAge(w)
 	}
 }
 
@@ -54,6 +106,10 @@ func (s *scheduler) remove(w *Warp) {
 		return list
 	}
 	s.warps = drop(s.warps)
+	s.byAge = drop(s.byAge)
+	if w.blockedMem || w.atBarrier {
+		s.longBlocked--
+	}
 	if s.policy == PolicyTwoLevel {
 		was := len(s.active)
 		s.active = drop(s.active)
@@ -192,7 +248,18 @@ func (s *scheduler) pickLRR(ready func(w *Warp) (bool, skipReason)) (*Warp, skip
 	firstReason := skipNone
 	for k := 0; k < n; k++ {
 		w := s.warps[(start+k)%n]
-		ok, reason := ready(w)
+		// Parked warps cannot issue; derive their reason without the
+		// (side-effect-free, but costly) readiness evaluation.
+		var ok bool
+		var reason skipReason
+		switch {
+		case w.atBarrier:
+			reason = skipBarrier
+		case w.blockedMem:
+			reason = skipScoreboard
+		default:
+			ok, reason = ready(w)
+		}
 		if ok {
 			s.last = w
 			return w, skipNone
@@ -206,32 +273,42 @@ func (s *scheduler) pickLRR(ready func(w *Warp) (bool, skipReason)) (*Warp, skip
 
 // pickGreedyOldest implements GTO and BAWS: the last issuer goes first; if
 // it cannot issue, the oldest ready warp (by the policy's age key) wins and
-// becomes the new greedy warp.
+// becomes the new greedy warp. Warps parked on a memory result or a barrier
+// are skipped without evaluation: their readiness check is a guaranteed
+// no-op failure, and the cached oldest warp supplies stall attribution.
 func (s *scheduler) pickGreedyOldest(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
-	if s.last != nil {
+	if s.last != nil && !s.last.blockedMem && !s.last.atBarrier {
 		if ok, _ := ready(s.last); ok {
 			return s.last, skipNone
 		}
 	}
-	var best, oldest *Warp
-	var b1, b2, b3, o1, o2, o3 uint64
-	var oldestReason skipReason
-	for _, w := range s.warps {
-		a1, a2, a3 := s.ageKey(w)
-		ok, reason := ready(w)
-		if oldest == nil || ageLess(a1, a2, a3, o1, o2, o3) {
-			// The overall-oldest warp is the one the policy *wants* to
-			// run; its stall reason is the attribution when nothing issues.
-			oldest, o1, o2, o3 = w, a1, a2, a3
-			oldestReason = reason
+	for _, w := range s.byAge {
+		if w.blockedMem || w.atBarrier {
+			continue
 		}
-		if ok && (best == nil || ageLess(a1, a2, a3, b1, b2, b3)) {
-			best, b1, b2, b3 = w, a1, a2, a3
+		if ok, _ := ready(w); ok {
+			// byAge is oldest-first, so the first ready warp is the pick.
+			s.last = w
+			return w, skipNone
 		}
 	}
-	if best != nil {
-		s.last = best
-		return best, skipNone
+	return nil, s.oldestReason(ready)
+}
+
+// oldestReason attributes a no-issue cycle to the stall of the overall-
+// oldest warp — the one the greedy policies *want* to run.
+func (s *scheduler) oldestReason(ready func(w *Warp) (bool, skipReason)) skipReason {
+	w := s.oldestWarp()
+	if w == nil {
+		return skipNone
 	}
-	return nil, oldestReason
+	switch {
+	case w.atBarrier:
+		return skipBarrier
+	case w.blockedMem:
+		return skipScoreboard
+	default:
+		_, reason := ready(w)
+		return reason
+	}
 }

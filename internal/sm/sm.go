@@ -25,6 +25,9 @@ type SM struct {
 	ctas       []*CTA
 	usage      kernel.Usage
 	warpSeq    uint64
+	// residentByKernel counts resident CTAs per kernel index, so the CTA
+	// dispatchers' per-cycle ResidentOf probes stop scanning ctas.
+	residentByKernel []int
 
 	// onCTADone is invoked when a resident CTA retires.
 	onCTADone func(coreID int, cta *CTA)
@@ -41,13 +44,14 @@ type SM struct {
 // the per-kernel issue buckets.
 func New(id int, cfg *Config, sys *mem.System, numKernels int, onCTADone func(int, *CTA)) *SM {
 	s := &SM{
-		id:           id,
-		cfg:          cfg,
-		memCfg:       sys.Config(),
-		sys:          sys,
-		schedulers:   make([]scheduler, cfg.NumSchedulers),
-		onCTADone:    onCTADone,
-		KernelIssued: make([]uint64, numKernels),
+		id:               id,
+		cfg:              cfg,
+		memCfg:           sys.Config(),
+		sys:              sys,
+		schedulers:       make([]scheduler, cfg.NumSchedulers),
+		onCTADone:        onCTADone,
+		KernelIssued:     make([]uint64, numKernels),
+		residentByKernel: make([]int, numKernels),
 	}
 	for i := range s.schedulers {
 		s.schedulers[i].policy = cfg.WarpPolicy
@@ -95,6 +99,9 @@ func (s *SM) SetWarpPolicy(p Policy) {
 				}
 			}
 		}
+		// Age keys are policy-dependent (GTO ages by arrival, BAWS by
+		// block); refresh the cached oldest warp.
+		sched.rebuildAge()
 	}
 }
 
@@ -108,14 +115,13 @@ func (s *SM) Limits() kernel.CoreLimits { return s.cfg.Limits }
 func (s *SM) ResidentCTAs() int { return len(s.ctas) }
 
 // ResidentOf returns the number of resident CTAs belonging to kernelIdx.
+// It is O(1): the per-kernel counters are maintained by AddCTA/completeCTA,
+// because every CTA dispatcher probes this on its per-cycle placement scan.
 func (s *SM) ResidentOf(kernelIdx int) int {
-	n := 0
-	for _, c := range s.ctas {
-		if c.KernelIdx == kernelIdx {
-			n++
-		}
+	if kernelIdx < 0 || kernelIdx >= len(s.residentByKernel) {
+		return 0
 	}
-	return n
+	return s.residentByKernel[kernelIdx]
 }
 
 // CTAs exposes the resident CTA list (probes and tests).
@@ -158,6 +164,9 @@ func (s *SM) AddCTA(spec *kernel.Spec, kernelIdx, ctaID int, addrBase uint64, bl
 		s.leastLoadedScheduler().add(w)
 	}
 	s.ctas = append(s.ctas, cta)
+	if kernelIdx >= 0 && kernelIdx < len(s.residentByKernel) {
+		s.residentByKernel[kernelIdx]++
+	}
 	return cta
 }
 
@@ -195,8 +204,7 @@ func (s *SM) issueOne(sched *scheduler, now uint64) {
 	if len(sched.warps) == 0 {
 		return
 	}
-	ready := func(w *Warp) (bool, skipReason) { return s.canIssue(sched, w, now) }
-	w, reason := sched.pick(ready)
+	w, reason := s.pickOrReason(sched, now)
 	if w == nil {
 		s.Stats.IssueStallCycles++
 		switch reason {
@@ -212,6 +220,29 @@ func (s *SM) issueOne(sched *scheduler, now uint64) {
 	s.execute(sched, w, now)
 }
 
+// pickOrReason resolves one scheduler slot's verdict for one cycle: the
+// issuing warp, or nil plus the stall attribution. It is the single verdict
+// path shared by Tick and FastForward, so skipped cycles accrue exactly the
+// counters executed cycles would.
+//
+// Fast path for the greedy policies: when every warp is parked on a memory
+// result or a barrier — the dominant state of memory-bound phases — pick
+// would fail without side effects, attributing the stall to the oldest
+// warp. Reproduce that verdict from the transition-maintained counter
+// instead of scanning. (LRR and two-level attribute to rotation order /
+// mutate fetch groups, so they keep the scan.)
+func (s *SM) pickOrReason(sched *scheduler, now uint64) (*Warp, skipReason) {
+	if sched.longBlocked == len(sched.warps) &&
+		sched.policy != PolicyLRR && sched.policy != PolicyTwoLevel {
+		if sched.oldestWarp().atBarrier {
+			return nil, skipBarrier
+		}
+		return nil, skipScoreboard
+	}
+	ready := func(w *Warp) (bool, skipReason) { return s.canIssue(sched, w, now) }
+	return sched.pick(ready)
+}
+
 // canIssue evaluates every issue condition for w's current instruction.
 func (s *SM) canIssue(sched *scheduler, w *Warp, now uint64) (bool, skipReason) {
 	if w.finished {
@@ -224,6 +255,13 @@ func (s *SM) canIssue(sched *scheduler, w *Warp, now uint64) (bool, skipReason) 
 		return false, skipFinished
 	}
 	if !w.operandsReady(now) {
+		// A stall pinned on a pending load parks the warp: only the load's
+		// return (clearStall) can wake it, so track it in the scheduler's
+		// long-blocked count rather than re-evaluating it every cycle.
+		if w.stallUntil == notReady && !w.blockedMem {
+			w.blockedMem = true
+			sched.longBlocked++
+		}
 		return false, skipScoreboard
 	}
 	wi := &w.cur
@@ -281,14 +319,25 @@ func (s *SM) execute(sched *scheduler, w *Warp, now uint64) {
 
 func (s *SM) arriveBarrier(w *Warp) {
 	w.atBarrier = true
+	w.sched.longBlocked++
 	cta := w.cta
 	cta.barCount++
 	if cta.barCount >= cta.liveWarps {
-		for _, x := range cta.warps {
-			x.atBarrier = false
-		}
-		cta.barCount = 0
+		releaseBarrier(cta)
 	}
+}
+
+// releaseBarrier frees every warp of cta waiting at the barrier, keeping
+// the per-scheduler long-blocked counts in step (the CTA's warps are spread
+// across schedulers).
+func releaseBarrier(cta *CTA) {
+	for _, x := range cta.warps {
+		if x.atBarrier {
+			x.atBarrier = false
+			x.sched.longBlocked--
+		}
+	}
+	cta.barCount = 0
 }
 
 func (s *SM) exitWarp(sched *scheduler, w *Warp, now uint64) {
@@ -300,10 +349,7 @@ func (s *SM) exitWarp(sched *scheduler, w *Warp, now uint64) {
 		// A malformed kernel could leave peers waiting at a barrier this
 		// warp will never reach; release them rather than deadlock.
 		if cta.barCount >= cta.liveWarps {
-			for _, x := range cta.warps {
-				x.atBarrier = false
-			}
-			cta.barCount = 0
+			releaseBarrier(cta)
 		}
 		return
 	}
@@ -318,9 +364,11 @@ func (s *SM) completeCTA(cta *CTA, now uint64) {
 			break
 		}
 	}
-	s.usage = kernel.Usage{}
-	for _, c := range s.ctas {
-		s.usage = s.usage.Add(c.Spec, 1)
+	// Usage is additive per CTA, so retiring one subtracts its footprint —
+	// no rebuild over the survivors.
+	s.usage = s.usage.Add(cta.Spec, -1)
+	if cta.KernelIdx >= 0 && cta.KernelIdx < len(s.residentByKernel) {
+		s.residentByKernel[cta.KernelIdx]--
 	}
 	s.Stats.CTAsCompleted++
 	if s.onCTADone != nil {
@@ -332,4 +380,119 @@ func (s *SM) completeCTA(cta *CTA, now uint64) {
 // memory work.
 func (s *SM) Idle() bool {
 	return len(s.ctas) == 0 && !s.ldst.busy()
+}
+
+// NeverEvent is the NextEvent bound meaning "only an external event — a
+// memory response or a CTA placement — can change what Tick does".
+const NeverEvent = ^uint64(0)
+
+// NextEvent returns the earliest cycle >= now at which the core can make
+// progress on its own: a ripe LDST event, a scoreboard stall expiring, or
+// an SFU pipe freeing. The bound is conservative — waking early is safe
+// (Tick runs and finds nothing), waking late would skip cycles where state
+// changes, which the bit-identical gate forbids. The probe may evaluate
+// canIssue, whose side effects (fetch, stallUntil caching, blockedMem
+// parking) are exactly what the next real pick would compute, so the
+// machine remains deterministic whether or not a probe ran.
+func (s *SM) NextEvent(now uint64) uint64 {
+	if s.Idle() {
+		return NeverEvent
+	}
+	next := s.ldst.nextEvent(now)
+	if next <= now {
+		return now
+	}
+	for i := range s.schedulers {
+		sched := &s.schedulers[i]
+		if len(sched.warps) == 0 {
+			continue
+		}
+		if ev := s.schedulerNextEvent(sched, now); ev < next {
+			next = ev
+		}
+		if next <= now {
+			return now
+		}
+	}
+	return next
+}
+
+// schedulerNextEvent bounds when sched might issue or mutate state,
+// assuming no instruction issues and no memory response arrives before the
+// returned cycle (the GPU only skips when every component agrees).
+func (s *SM) schedulerNextEvent(sched *scheduler, now uint64) uint64 {
+	if sched.policy == PolicyTwoLevel && len(sched.pending) > 0 {
+		// pickTwoLevel demotes/promotes fetch groups on no-issue cycles —
+		// a state mutation — so these cycles can never be skipped.
+		return now
+	}
+	if sched.longBlocked == len(sched.warps) {
+		// Every warp parked on a memory result or barrier: only a response
+		// can wake the slot.
+		return NeverEvent
+	}
+	next := uint64(NeverEvent)
+	for _, w := range sched.warps {
+		if w.blockedMem || w.atBarrier {
+			continue
+		}
+		ok, reason := s.canIssue(sched, w, now)
+		if ok {
+			return now
+		}
+		switch reason {
+		case skipScoreboard:
+			// operandsReady cached the wake cycle; notReady means the probe
+			// just parked the warp on a pending load.
+			if w.stallUntil != notReady && w.stallUntil < next {
+				next = w.stallUntil
+			}
+		case skipStructural:
+			if w.cur.Op == isa.OpSfu {
+				if sched.sfuFreeAt < next {
+					next = sched.sfuFreeAt
+				}
+			}
+			// LDST back-pressure frees via the unit's own queue progress
+			// (ldst.nextEvent) or a memory response (the system's bound);
+			// no time-driven wake originates here.
+		}
+	}
+	return next
+}
+
+// FastForward accrues the per-cycle counters Tick would have produced for
+// the skipped window [from, to). The caller guarantees the machine is
+// frozen across the window — nothing issues, no memory response arrives,
+// no CTA is placed or retires — so the per-slot stall verdict is constant
+// and one evaluation at `from` replicates every skipped cycle. A non-nil
+// pick here would mean the window contained an issuable cycle, which the
+// event horizon must never allow; that is a bug, not a recoverable state.
+func (s *SM) FastForward(from, to uint64) {
+	if to <= from {
+		return
+	}
+	k := to - from
+	if len(s.ctas) > 0 || s.ldst.busy() {
+		s.Stats.ActiveCycles += k
+	}
+	for i := range s.schedulers {
+		sched := &s.schedulers[i]
+		if len(sched.warps) == 0 {
+			continue
+		}
+		w, reason := s.pickOrReason(sched, from)
+		if w != nil {
+			panic(fmt.Sprintf("sm %d: fast-forward across an issuable cycle at %d", s.id, from))
+		}
+		s.Stats.IssueStallCycles += k
+		switch reason {
+		case skipScoreboard:
+			s.Stats.StallScoreboard += k
+		case skipStructural:
+			s.Stats.StallLDSTFull += k
+		case skipBarrier:
+			s.Stats.StallBarrier += k
+		}
+	}
 }

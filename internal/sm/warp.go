@@ -18,12 +18,23 @@ type Warp struct {
 	// warpInCTA is the warp's index within its CTA.
 	warpInCTA int
 
+	// sched is the owning issue slot, so state transitions (load return,
+	// barrier arrival/release) can maintain its blocked-warp accounting
+	// without a scan.
+	sched *scheduler
+
 	prog     isa.Program
 	cur      isa.WarpInstr
 	curValid bool
 
 	finished  bool
 	atBarrier bool
+	// blockedMem marks a warp whose scoreboard stall is a pending memory
+	// result (stallUntil == notReady): it cannot issue until a response
+	// arrives, never merely by time passing. Together with atBarrier it
+	// feeds scheduler.longBlocked, the transition-maintained count that
+	// lets pick and the fast-forward probe skip scanning parked warps.
+	blockedMem bool
 
 	// readyAt[r] is the cycle register r's pending write completes;
 	// 0 means no write pending. Register 0 is hardwired ready.
@@ -35,8 +46,15 @@ type Warp struct {
 	stallUntil uint64
 }
 
-// clearStall invalidates the scoreboard fast-path (called on load return).
-func (w *Warp) clearStall() { w.stallUntil = 0 }
+// clearStall invalidates the scoreboard fast-path (called on load return)
+// and moves the warp out of its scheduler's long-blocked set.
+func (w *Warp) clearStall() {
+	w.stallUntil = 0
+	if w.blockedMem {
+		w.blockedMem = false
+		w.sched.longBlocked--
+	}
+}
 
 // fetch ensures cur holds the next unissued instruction. Returns false when
 // the program is exhausted (treated as an implicit exit).

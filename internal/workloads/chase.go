@@ -1,0 +1,41 @@
+package workloads
+
+import (
+	"gpusched/internal/isa"
+	"gpusched/internal/kernel"
+)
+
+// ChaseSpec builds the stall-heavy pointer-chase-style microbenchmark: each
+// warp alternates a fully-coalesced global load with an ALU op consuming the
+// loaded value, so the warp parks on the scoreboard for the full memory
+// round trip between issues. Every warp touches distinct lines (no reuse,
+// all misses), which drives the machine into the worst case for a
+// cycle-by-cycle loop: long stretches where every resident warp is
+// memory-blocked and nothing happens. It is not part of the paper's
+// workload registry — it exists to benchmark the simulator itself (the
+// event-horizon fast-forward in particular), not a scheduling policy.
+func ChaseSpec(ctas, warpsPerCTA, iters int) *kernel.Spec {
+	return &kernel.Spec{
+		Name:          "chase",
+		Grid:          kernel.Dim3{X: ctas},
+		Block:         kernel.Dim3{X: warpsPerCTA * isa.WarpSize},
+		RegsPerThread: 8,
+		Program: func(ctaID, w int) isa.Program {
+			instrs := make([]isa.WarpInstr, 0, 2*iters+1)
+			for i := 0; i < iters; i++ {
+				var ld isa.WarpInstr
+				ld.Op = isa.OpLoadGlobal
+				ld.Dst = 2
+				ld.Mask = isa.FullMask
+				line := uint32(((ctaID*warpsPerCTA+w)*iters + i) * 128)
+				for lane := 0; lane < isa.WarpSize; lane++ {
+					ld.Addrs[lane] = line + uint32(lane*4)
+				}
+				instrs = append(instrs, ld,
+					isa.WarpInstr{Op: isa.OpIAlu, Dst: 3, Src: [3]isa.Reg{2}, Mask: isa.FullMask})
+			}
+			instrs = append(instrs, isa.WarpInstr{Op: isa.OpExit, Mask: isa.FullMask})
+			return &isa.SliceProgram{Instrs: instrs}
+		},
+	}
+}
