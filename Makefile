@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test ci bench bench-all paper paper-small examples serve clean
+.PHONY: all build test lint ci bench bench-all paper paper-small examples serve clean
 
 all: build test
 
@@ -11,13 +11,25 @@ build:
 test:
 	go test ./...
 
-# Mirror of .github/workflows/ci.yml: build, vet, race-enabled tests, and a
-# short fuzz smoke of the kernel-completion property.
-ci:
-	go build ./...
+# Static checks: vet, the in-tree gpulint suite (determinism and cache-key
+# contracts; see DESIGN.md "Determinism contract"), and staticcheck when it
+# is installed locally (CI pins and runs it unconditionally).
+lint:
 	go vet ./...
+	go run ./cmd/gpulint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi
+
+# Mirror of .github/workflows/ci.yml: build, lint, race-enabled tests, and
+# short fuzz smokes of the kernel-completion and request-wire properties.
+ci: lint
+	go build ./...
 	go test -race ./...
 	go test -run='^$$' -fuzz=FuzzKernel -fuzztime=10s .
+	go test -run='^$$' -fuzz=FuzzRequestJSON -fuzztime=10s ./internal/sim
 
 # Headline benchmarks (simulator throughput + two figure experiments),
 # recorded as JSON so CI can diff against the committed baseline.

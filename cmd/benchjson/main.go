@@ -106,6 +106,7 @@ func Parse(r io.Reader) (*Record, error) {
 		if prev, ok := rec.Benchmarks[name]; ok {
 			// Running mean over -count repetitions.
 			n := float64(counts[name])
+			//gpulint:ordered-irrelevant independent per-unit mean updates commute; output order comes from json.Marshal's sorted map keys
 			for unit, v := range metrics {
 				prev[unit] += (v - prev[unit]) / n
 			}

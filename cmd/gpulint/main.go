@@ -1,0 +1,59 @@
+// Command gpulint runs the repo's determinism and cache-key analyzers
+// (internal/lint) over the module, multichecker style:
+//
+//	gpulint ./...            # what make lint and CI run
+//	gpulint -list            # describe the analyzers
+//	gpulint ./internal/sim   # one package
+//
+// Diagnostics print as file:line:col: message (analyzer), sorted, and any
+// finding exits 1. Suppressions and annotations are //gpulint: comments;
+// see DESIGN.md "Determinism contract".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpusched/internal/lint"
+	"gpusched/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	dir := flag.String("C", "", "change to this directory before loading packages")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Suite() {
+			fmt.Printf("%-12s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
+		}
+		return
+	}
+
+	n, err := run(*dir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpulint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "gpulint: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, patterns []string) (int, error) {
+	pkgs, fset, err := load.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags := lint.Check(fset, pkg)
+		total += len(diags)
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	return total, nil
+}

@@ -58,6 +58,7 @@ func (l *LCS) DecidedLimit(fallback int) int {
 		}
 	}
 	best, bestN := fallback, 0
+	//gpulint:ordered-irrelevant argmax with a total tie-break (higher count, then smaller value) selects the same winner in any iteration order
 	for v, n := range counts {
 		if n > bestN || (n == bestN && v < best) {
 			best, bestN = v, n

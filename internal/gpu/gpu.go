@@ -227,7 +227,7 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	done := ctx.Done()
 	for g.doneCount < len(g.kernels) && g.now < maxCycles {
 		if done != nil && g.now%ctxCheckInterval == 0 {
-			select {
+			select { //gpulint:allow nogoroutine cancellation poll only aborts the run; a canceled simulation returns an error and is never cached or reported
 			case <-done:
 				return g.collect(), ctx.Err()
 			default:
@@ -304,6 +304,8 @@ func max2(a, b uint64) uint64 {
 // context-check cycle) falls strictly inside the skipped window, and never
 // exceeds maxCycles: the cap cycle itself is never executed, matching the
 // reference loop's exit arithmetic. Returns how many cycles were skipped.
+//
+//gpulint:hotpath
 func (g *GPU) fastForward(ff core.FastForwarder, clampCtx bool, maxCycles uint64) uint64 {
 	from := g.now
 	horizon := ff.NextDispatchEvent(from)

@@ -1,0 +1,168 @@
+// Package analysistest runs one gpulint analyzer over a fixture directory
+// and checks its diagnostics against // want comments — a small offline
+// stand-in for golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of .go files forming one package. Expectations
+// are written at the end of the offending line:
+//
+//	for k := range m { // want "range over map"
+//
+// Each quoted string is a regular expression that must match exactly one
+// diagnostic reported on that line; diagnostics with no matching want, and
+// wants with no matching diagnostic, fail the test. Because suppression
+// handling is part of the contract under test, the analyzer's diagnostics
+// pass through lint.ApplySuppressions first — so fixtures can prove both
+// that //gpulint: comments silence findings and that stale ones are
+// reported. A want may ride on a //gpulint: directive line; the directive
+// parser ignores everything from "// want" on.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"gpusched/internal/lint"
+	"gpusched/internal/lint/analysis"
+)
+
+// Fixture packages import only the standard library, which the source
+// importer type-checks from GOROOT — no build cache, network, or module
+// resolution involved. One importer (and its fileset) is shared across
+// tests: srcimporter memoizes each stdlib package after the first use.
+var (
+	fset     = token.NewFileSet()
+	stdlib   = importer.ForCompiler(fset, "source", nil)
+	wantRe   = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// Run loads the fixture package in dir, applies a (suppression-filtered)
+// pass of the analyzer, and diffs the diagnostics against the // want
+// expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	files, pkg, info := loadFixture(t, dir)
+
+	dirs := analysis.ParseDirectives(files)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		Directives: dirs,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+	diags = lint.ApplySuppressions(fset, diags, dirs, map[string]bool{a.Name: true})
+
+	remaining := make(map[loc][]analysis.Diagnostic)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		l := loc{p.Filename, p.Line}
+		remaining[l] = append(remaining[l], d)
+	}
+
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				l := loc{p.Filename, p.Line}
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", p, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", p, pattern, err)
+					}
+					if !consume(remaining, l, re) {
+						t.Errorf("%s: no %s diagnostic matching %q", p, a.Name, pattern)
+					}
+				}
+			}
+		}
+	}
+
+	var leftover []string
+	for l, ds := range remaining {
+		for _, d := range ds {
+			leftover = append(leftover, l.file+":"+strconv.Itoa(l.line)+": unexpected diagnostic: "+d.Message+" ("+d.Analyzer+")")
+		}
+	}
+	sort.Strings(leftover)
+	for _, s := range leftover {
+		t.Error(s)
+	}
+}
+
+// loc keys diagnostics and wants by position; columns are ignored so a
+// want can sit anywhere on the offending line.
+type loc struct {
+	file string
+	line int
+}
+
+// consume removes the first diagnostic at l whose message matches re.
+func consume(remaining map[loc][]analysis.Diagnostic, l loc, re *regexp.Regexp) bool {
+	ds := remaining[l]
+	for i, d := range ds {
+		if re.MatchString(d.Message) {
+			remaining[l] = append(ds[:i:i], ds[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// loadFixture parses and type-checks every .go file in dir as one package.
+func loadFixture(t *testing.T, dir string) ([]*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: stdlib}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+	return files, pkg, info
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/token"
+
+	"gpusched/internal/lint/analysis"
+	"gpusched/internal/lint/load"
+)
+
+// Check runs every suite analyzer whose scope matches the package, applies
+// the package's suppression directives, and returns the surviving
+// diagnostics sorted by position. This is the one entry point cmd/gpulint
+// and the self-test share, so "the repo is gpulint-clean" means the same
+// thing in CI and in `go test ./internal/lint`.
+func Check(fset *token.FileSet, pkg *load.Package) []analysis.Diagnostic {
+	dirs := analysis.ParseDirectives(pkg.Files)
+	active := make(map[string]bool)
+	var diags []analysis.Diagnostic
+	for _, c := range Suite() {
+		if !c.Match(pkg.Path) {
+			continue
+		}
+		active[c.Analyzer.Name] = true
+		pass := &analysis.Pass{
+			Analyzer:   c.Analyzer,
+			Fset:       fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			Directives: dirs,
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		// Analyzer-internal failures surface as diagnostics too: a linter
+		// that silently skips a package is a linter that silently stops
+		// enforcing its contract.
+		if err := c.Analyzer.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      pkg.Files[0].Pos(),
+				Analyzer: c.Analyzer.Name,
+				Message:  "analyzer failed: " + err.Error(),
+			})
+		}
+	}
+	return ApplySuppressions(fset, diags, dirs, active)
+}

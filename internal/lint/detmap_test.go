@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpusched/internal/lint"
+	"gpusched/internal/lint/analysistest"
+)
+
+// The detmap fixture also carries the directive-grammar cases (unknown
+// directive kind, allow naming an unknown analyzer) since those
+// meta-diagnostics are emitted on every run.
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detmap", lint.Detmap)
+}

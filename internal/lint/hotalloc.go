@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gpusched/internal/lint/analysis"
+)
+
+// Hotalloc polices allocation hazards in functions annotated
+// //gpulint:hotpath — the per-cycle code (warp pick, FR-FCFS scan,
+// fast-forward replay) whose de-scanning PR 3 paid for with benchmarks.
+// Three hazard classes are flagged: fmt formatting calls (always
+// allocate), implicit boxing of a concrete value into an interface
+// (allocates once the value escapes, and fmt-free hot loops have no
+// business erasing types), and append whose result lands in a struct field
+// or package variable (an escaping, amortized-growth slice on the
+// per-cycle path). The checks are syntactic-plus-types approximations, not
+// an escape analysis; they exist to make an allocation on a hot path a
+// reviewed decision (//gpulint:allow hotalloc <reason>), not an accident.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags fmt calls, interface boxing, and appends to escaping slices inside functions " +
+		"annotated //gpulint:hotpath",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) error {
+	for _, d := range pass.Directives {
+		if d.Kind != analysis.KindHotpath {
+			continue
+		}
+		fn := annotatedFunc(pass, d.Pos)
+		if fn == nil {
+			pass.Reportf(d.Pos, "//gpulint:hotpath is not attached to a function declaration")
+			continue
+		}
+		checkHotFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, stack)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break // multi-value RHS; covered by the call check
+				}
+				lt := pass.TypesInfo.TypeOf(n.Lhs[i])
+				if boxes(lt, pass.TypesInfo.TypeOf(rhs)) {
+					pass.Reportf(rhs.Pos(), "hotpath %s: assignment boxes %s into %s (allocates); keep hot-path state concrete", fn.Name.Name, pass.TypesInfo.TypeOf(rhs), lt)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	// fmt.* is flagged as a whole; skip the per-argument boxing noise.
+	if callee := typeutilCallee(pass, call); callee != nil {
+		if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hotpath %s: fmt.%s allocates on every call; precompute or move formatting off the per-cycle path", fn.Name.Name, callee.Name())
+			return
+		}
+	}
+
+	// append whose result binds to a field or package-level variable.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if dst, escapes := appendEscapes(pass, call, stack); escapes {
+				pass.Reportf(call.Pos(), "hotpath %s: append result is stored in escaping %s; preallocate or justify with //gpulint:allow hotalloc", fn.Name.Name, dst)
+			}
+			return
+		}
+	}
+
+	// Implicit interface boxing at the call boundary.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // builtin or type conversion
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice, no per-element boxing here
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(param, pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "hotpath %s: argument boxes %s into %s (allocates); take the concrete type instead", fn.Name.Name, pass.TypesInfo.TypeOf(arg), param)
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type from to a location of
+// type to converts a concrete value into an interface.
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if !types.IsInterface(to) || types.IsInterface(from) {
+		return false
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		// Untyped nil (and constants the compiler may box statically).
+		return b.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// appendEscapes reports whether the append call's result is assigned to a
+// struct field or a package-level variable, naming the destination.
+func appendEscapes(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) (string, bool) {
+	if len(stack) == 0 {
+		return "", false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != len(assign.Lhs) {
+		return "", false
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs != call {
+			continue
+		}
+		switch lhs := assign.Lhs[i].(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+				return "field " + types.ExprString(lhs), true
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[lhs]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+				return "package variable " + lhs.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// typeutilCallee resolves the static callee of a call, or nil.
+func typeutilCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

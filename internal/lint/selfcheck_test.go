@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpusched/internal/lint"
+	"gpusched/internal/lint/load"
+)
+
+// TestRepoGpulintClean runs the full suite over the module itself, exactly
+// as cmd/gpulint does. The repo carrying zero unsuppressed diagnostics is
+// part of the determinism contract, so drift fails `go test` too, not just
+// `make lint`.
+func TestRepoGpulintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export over the whole module")
+	}
+	pkgs, fset, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("load.Load returned no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range lint.Check(fset, pkg) {
+			t.Errorf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

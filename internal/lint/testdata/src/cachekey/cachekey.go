@@ -1,0 +1,45 @@
+// Package cachekey exercises the cachekey analyzer: a function annotated
+// //gpulint:cachekey T must reference every exported field of T, either
+// directly or through same-package calls.
+package cachekey
+
+import "fmt"
+
+type Req struct {
+	A int
+	B string
+	n int // unexported: not part of the contract
+}
+
+// Key folds A directly and B through a helper — full coverage.
+//
+//gpulint:cachekey Req
+func (r Req) Key() string {
+	return fmt.Sprintf("a=%d|%s|%d", r.A, r.tail(), r.n)
+}
+
+func (r Req) tail() string { return r.B }
+
+type Partial struct {
+	X int
+	Y int
+}
+
+//gpulint:cachekey Partial // want "Key2 does not reference exported field\\(s\\) Y of Partial"
+func (p Partial) Key2() string {
+	return fmt.Sprint(p.X)
+}
+
+type Count int
+
+//gpulint:cachekey Count // want "Count is not a struct type"
+func (c Count) Key3() string { return "count" }
+
+//gpulint:cachekey Missing // want "no type Missing in package cachekey"
+func oops() string { return "" }
+
+//gpulint:cachekey // want "needs exactly one type name"
+func bare() string { return "" }
+
+//gpulint:cachekey Req // want "is not attached to a function declaration"
+var detached = 0

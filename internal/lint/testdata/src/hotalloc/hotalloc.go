@@ -1,0 +1,42 @@
+// Package hotalloc exercises the hotalloc analyzer: fmt calls, interface
+// boxing, and appends to escaping slices are flagged inside functions
+// annotated //gpulint:hotpath; unannotated functions are left alone.
+package hotalloc
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+var journal []int
+
+//gpulint:hotpath
+func tick(r *ring, vs []int, sink func(any)) {
+	msg := fmt.Sprintf("n=%d", len(vs)) // want "fmt.Sprintf allocates on every call"
+	_ = msg
+	sink(len(vs))                // want "argument boxes int into"
+	r.buf = append(r.buf, 1)     // want "append result is stored in escaping field r.buf"
+	journal = append(journal, 2) // want "append result is stored in escaping package variable journal"
+	var x any
+	x = vs[0] // want "assignment boxes int into"
+	_ = x
+}
+
+//gpulint:hotpath
+func tickOK(r *ring, n int) int {
+	local := make([]int, 0, 8)
+	local = append(local, n) // append kept local: fine
+	if n < 0 {
+		//gpulint:allow hotalloc one-shot diagnostic on a path that aborts the run
+		panic(fmt.Sprintf("negative n %d", n))
+	}
+	return local[0]
+}
+
+//gpulint:hotpath // want "not attached to a function declaration"
+var detached = 0
+
+func cold(vs []int) string {
+	return fmt.Sprintf("%d", len(vs)) // unannotated: not checked
+}

@@ -1,0 +1,27 @@
+// Package nogoroutine exercises the nogoroutine analyzer: cycle-loop
+// packages are single-threaded by contract, so goroutines and every channel
+// construct are flagged.
+package nogoroutine
+
+func spawn(f func()) {
+	go f() // want "go statement in a cycle-loop package"
+}
+
+func channels() {
+	ch := make(chan int) // want "channel type in a cycle-loop package"
+	ch <- 1              // want "channel send in a cycle-loop package"
+	<-ch                 // want "channel receive in a cycle-loop package"
+	select {             // want "select in a cycle-loop package"
+	default:
+	}
+	for range ch { // want "range over channel in a cycle-loop package"
+	}
+}
+
+func polled(stop func() bool) bool {
+	//gpulint:allow nogoroutine host-side cancellation poll; aborts the run, never reaches simulated state
+	select {
+	default:
+	}
+	return stop()
+}

@@ -1,0 +1,40 @@
+// Package wallclock exercises the wallclock analyzer: wall-clock reads and
+// the global math/rand source are banned in deterministic packages; seeded
+// generators are the sanctioned alternative.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want "time.Until reads the wall clock"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "rand.Intn uses the global random source"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded generator state: allowed
+	return r.Intn(6)
+}
+
+func traced() int64 {
+	//gpulint:allow wallclock trace timestamp only; never reaches simulated state
+	return time.Now().UnixNano()
+}
+
+func stale() int {
+	//gpulint:allow wallclock nothing on the next line reads a clock // want "unused //gpulint:allow suppression"
+	return 4
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gpusched/internal/lint/analysis"
+)
+
+// Wallclock forbids wall-time and ambient-randomness sources in the
+// deterministic packages. Simulated time is the only clock those packages
+// may observe: a single time.Now or global math/rand call makes results
+// depend on the host machine, which silently breaks both the byte-identical
+// fast-forward contract and the result cache (identical keys, different
+// results). Explicitly seeded rand.New(rand.NewSource(n)) generators stay
+// legal — they are pure functions of their seed.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Until and global math/rand in deterministic packages; " +
+		"simulated time and seeded generators only",
+	Run: runWallclock,
+}
+
+// wallclockTimeFuncs are the time package functions that read the host
+// clock.
+var wallclockTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// wallclockRandOK are the math/rand and math/rand/v2 package functions
+// that do NOT touch the global source: constructors for explicitly seeded
+// generators.
+var wallclockRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runWallclock(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seed-determined
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; thread simulated cycles instead (//gpulint:allow wallclock <reason> to override)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallclockRandOK[fn.Name()] {
+					pass.Reportf(sel.Pos(), "%s.%s uses the global random source in a deterministic package; use rand.New(rand.NewSource(seed)) (//gpulint:allow wallclock <reason> to override)", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -100,6 +100,8 @@ func (d *DRAMChannel) bankAndRow(lineAddr uint64) (bank int, row uint64) {
 // Tick advances the channel one cycle: it delivers finished transfers, then
 // schedules at most one queued request (FR-FCFS: oldest row hit whose bank
 // is free, else oldest request whose bank is free).
+//
+//gpulint:hotpath
 func (d *DRAMChannel) Tick(now uint64) {
 	for len(d.completions) > 0 && d.completions[0].at <= now {
 		c := d.completions[0]

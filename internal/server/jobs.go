@@ -55,6 +55,11 @@ type Event struct {
 type Job struct {
 	// ID is the daemon-assigned handle ("job-7").
 	ID string
+	// seq is the admission order (the number in ID). List sorts by it:
+	// created timestamps can collide within clock resolution, and breaking
+	// such ties by map iteration order made /v1/jobs ordering flap between
+	// requests.
+	seq uint64
 	// Key is the request's canonical cache identity; jobs with equal keys
 	// deduplicate inside sim.Service.
 	Key string
@@ -287,6 +292,7 @@ func (m *Manager) Submit(req sim.Request, timeout time.Duration) (*Job, error) {
 	m.nextID++
 	job := &Job{
 		ID:      fmt.Sprintf("job-%d", m.nextID),
+		seq:     m.nextID,
 		Key:     req.Key(),
 		Req:     req,
 		timeout: timeout,
@@ -314,7 +320,9 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// List returns every tracked job, oldest submission first.
+// List returns every tracked job in admission order. Sorting by the
+// monotone admission sequence (not the created timestamp) keeps the order
+// total even when two submissions land on the same clock reading.
 func (m *Manager) List() []*Job {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
@@ -322,7 +330,7 @@ func (m *Manager) List() []*Job {
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].created.Before(jobs[k].created) })
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
 	return jobs
 }
 
@@ -411,6 +419,7 @@ func (m *Manager) reap(now time.Time) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
+	//gpulint:ordered-irrelevant every expired job is deleted regardless of visit order
 	for id, j := range m.jobs {
 		j.mu.Lock()
 		expired := j.state.Terminal() && now.Sub(j.finished) > m.cfg.ResultTTL
@@ -484,6 +493,7 @@ func (m *Manager) stats() managerStats {
 		Failed:     m.counts.failed,
 		Canceled:   m.counts.canceled,
 	}
+	//gpulint:ordered-irrelevant counting jobs in a state is order-free
 	for _, j := range m.jobs {
 		if j.State() == StateQueued {
 			st.Queued++

@@ -1,0 +1,68 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpusched/internal/sim"
+	"gpusched/internal/sm"
+	"gpusched/internal/workloads"
+)
+
+// FuzzRequestJSON fuzzes the wire form of Request for the property the
+// result cache depends on: unmarshal(marshal(r)) has r's cache key, and a
+// second marshal hop is a fixed point. This is the invariant the cachekey
+// analyzer enforces statically; the fuzzer enforces it dynamically (it is
+// what caught the wire form silently dropping NoFastForward).
+func FuzzRequestJSON(f *testing.F) {
+	f.Add("vadd", uint8(0), 0, uint8(0), uint8(0), 0, 0, false, uint64(0), false)
+	f.Add("spmv", uint8(4), 2, uint8(2), uint8(1), 8, 16<<10, true, uint64(5000), true)
+	f.Add("", uint8(5), -3, uint8(3), uint8(2), -1, -7, false, uint64(1)<<40, true)
+	f.Fuzz(func(t *testing.T, name string, kind uint8, arg int, warp, scale uint8, cores, l1 int, fcfs bool, maxCycles uint64, noFF bool) {
+		// Clamp to the constructible domain: policy args and size overrides
+		// are non-negative, enum fields take their declared values, and
+		// workload names must survive json.Marshal's UTF-8 sanitization
+		// unchanged (an invalid name is a Validate failure, not a wire bug).
+		if arg < 0 {
+			arg = 0
+		}
+		if cores < 0 {
+			cores = 0
+		}
+		if l1 < 0 {
+			l1 = 0
+		}
+		name = strings.ToValidUTF8(name, "")
+		req := sim.Request{
+			Workloads:     []string{name},
+			Sched:         sim.SchedSpec{Kind: sim.SchedKind(kind % 9), Arg: arg},
+			Warp:          sm.Policy(warp % 4),
+			Scale:         workloads.Scale(scale % 3),
+			Cores:         cores,
+			L1Bytes:       l1,
+			DRAMSchedFCFS: fcfs,
+			MaxCycles:     maxCycles,
+			NoFastForward: noFF,
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", req, err)
+		}
+		var back sim.Request
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal own wire form %s: %v", data, err)
+		}
+		if back.Key() != req.Key() {
+			t.Fatalf("JSON round trip changed the cache key\n  wire: %s\n  key:  %q\n  back: %q", data, req.Key(), back.Key())
+		}
+		data2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("wire form is not a fixed point: %s -> %s", data, data2)
+		}
+	})
+}

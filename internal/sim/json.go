@@ -18,11 +18,14 @@ type requestJSON struct {
 	L1Bytes       int      `json:"l1_bytes,omitempty"`
 	DRAMSchedFCFS bool     `json:"dram_fcfs,omitempty"`
 	MaxCycles     uint64   `json:"max_cycles,omitempty"`
+	NoFastForward bool     `json:"no_fast_forward,omitempty"`
 }
 
 // MarshalJSON renders the request in its wire form. The sched, warp, and
 // scale names are always emitted (never empty), so a marshaled request is
 // self-describing even where the Go zero values applied.
+//
+//gpulint:cachekey Request
 func (r Request) MarshalJSON() ([]byte, error) {
 	return json.Marshal(requestJSON{
 		Workloads:     r.Workloads,
@@ -33,6 +36,7 @@ func (r Request) MarshalJSON() ([]byte, error) {
 		L1Bytes:       r.L1Bytes,
 		DRAMSchedFCFS: r.DRAMSchedFCFS,
 		MaxCycles:     r.MaxCycles,
+		NoFastForward: r.NoFastForward,
 	})
 }
 
@@ -42,6 +46,8 @@ func (r Request) MarshalJSON() ([]byte, error) {
 // the same messages the CLI flags produce. Unknown JSON fields are
 // ignored, which lets callers decode envelope fields (timeouts, labels)
 // from the same byte stream.
+//
+//gpulint:cachekey Request
 func (r *Request) UnmarshalJSON(data []byte) error {
 	var w requestJSON
 	if err := json.Unmarshal(data, &w); err != nil {
@@ -80,6 +86,7 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 	out.L1Bytes = w.L1Bytes
 	out.DRAMSchedFCFS = w.DRAMSchedFCFS
 	out.MaxCycles = w.MaxCycles
+	out.NoFastForward = w.NoFastForward
 	*r = out
 	return nil
 }

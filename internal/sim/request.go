@@ -43,6 +43,10 @@ type Request struct {
 // Key returns the canonical identity of the request: two requests with
 // equal keys simulate identically (the simulator is deterministic). It is
 // the memoization key of Service and, hashed, the on-disk cache filename.
+// The cachekey annotation makes the coverage a build-time contract: a new
+// exported Request field that is not folded in here fails `make lint`.
+//
+//gpulint:cachekey Request
 func (r Request) Key() string {
 	key := fmt.Sprintf("w=%s|sched=%s|warp=%s|scale=%s|cores=%d|l1=%d|fcfs=%t|max=%d",
 		strings.Join(r.Workloads, "+"), r.Sched, r.Warp,

@@ -178,7 +178,11 @@ func (s SchedSpec) arg() int {
 }
 
 // String renders the canonical "name" / "name:arg" form used in cache keys;
-// ParseSched inverts it.
+// ParseSched inverts it. The cachekey annotation pins every exported
+// SchedSpec field into this rendering: a policy parameter that does not
+// reach the string would alias distinct simulations in the result cache.
+//
+//gpulint:cachekey SchedSpec
 func (s SchedSpec) String() string {
 	e := s.entry()
 	if !e.takesArg {

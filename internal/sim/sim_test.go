@@ -314,6 +314,11 @@ func TestRunAllJoinsAllErrors(t *testing.T) {
 			t.Errorf("joined error %q does not name %q", err, want)
 		}
 	}
+	// The join must list failures in request order, not goroutine-completion
+	// order: paperbench output (and anything diffing it) sees this string.
+	if strings.Index(err.Error(), "no-such-workload") > strings.Index(err.Error(), "also-missing") {
+		t.Errorf("joined error is not in request order: %q", err)
+	}
 	if err := svc.RunAll(context.Background(), []sim.Request{tinyRequest("vadd", sim.Baseline())}); err != nil {
 		t.Errorf("all-good RunAll returned %v", err)
 	}
@@ -407,6 +412,9 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 			Warp: sm.PolicyBAWS, Scale: workloads.ScaleSmall,
 			Cores: 8, L1Bytes: 16 << 10, DRAMSchedFCFS: true, MaxCycles: 5000,
 		},
+		// Regression: the wire form once dropped NoFastForward, silently
+		// aliasing the reference-loop variant onto the fast-forward cache.
+		{Workloads: []string{"vadd"}, NoFastForward: true},
 	}
 	for _, r := range reqs {
 		data, err := json.Marshal(r)

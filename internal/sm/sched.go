@@ -167,6 +167,8 @@ func ageLess(a1, a2, a3, b1, b2, b3 uint64) bool {
 // issue right now (operands, barrier, structural); it may be called several
 // times per warp per cycle. The returned reason explains the preferred
 // warp's stall when nothing was ready.
+//
+//gpulint:hotpath
 func (s *scheduler) pick(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
 	if len(s.warps) == 0 {
 		return nil, skipNone
@@ -186,6 +188,8 @@ func (s *scheduler) pick(ready func(w *Warp) (bool, skipReason)) (*Warp, skipRea
 // longest-waiting pending warp promoted (and issued immediately if ready).
 // ALU-latency stalls do not trigger swaps — they resolve within a few
 // cycles, which is the point of keeping a small compute-dense active set.
+//
+//gpulint:hotpath
 func (s *scheduler) pickTwoLevel(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
 	if len(s.active) == 0 {
 		return nil, skipNone
@@ -234,6 +238,7 @@ func (s *scheduler) pickTwoLevel(ready func(w *Warp) (bool, skipReason)) (*Warp,
 	return nil, firstReason
 }
 
+//gpulint:hotpath
 func (s *scheduler) pickLRR(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
 	start := 0
 	if s.last != nil {
@@ -276,6 +281,8 @@ func (s *scheduler) pickLRR(ready func(w *Warp) (bool, skipReason)) (*Warp, skip
 // becomes the new greedy warp. Warps parked on a memory result or a barrier
 // are skipped without evaluation: their readiness check is a guaranteed
 // no-op failure, and the cached oldest warp supplies stall attribution.
+//
+//gpulint:hotpath
 func (s *scheduler) pickGreedyOldest(ready func(w *Warp) (bool, skipReason)) (*Warp, skipReason) {
 	if s.last != nil && !s.last.blockedMem && !s.last.atBarrier {
 		if ok, _ := ready(s.last); ok {

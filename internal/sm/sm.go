@@ -231,6 +231,8 @@ func (s *SM) issueOne(sched *scheduler, now uint64) {
 // warp. Reproduce that verdict from the transition-maintained counter
 // instead of scanning. (LRR and two-level attribute to rotation order /
 // mutate fetch groups, so they keep the scan.)
+//
+//gpulint:hotpath
 func (s *SM) pickOrReason(sched *scheduler, now uint64) (*Warp, skipReason) {
 	if sched.longBlocked == len(sched.warps) &&
 		sched.policy != PolicyLRR && sched.policy != PolicyTwoLevel {
@@ -468,6 +470,8 @@ func (s *SM) schedulerNextEvent(sched *scheduler, now uint64) uint64 {
 // and one evaluation at `from` replicates every skipped cycle. A non-nil
 // pick here would mean the window contained an issuable cycle, which the
 // event horizon must never allow; that is a bug, not a recoverable state.
+//
+//gpulint:hotpath
 func (s *SM) FastForward(from, to uint64) {
 	if to <= from {
 		return
@@ -483,6 +487,7 @@ func (s *SM) FastForward(from, to uint64) {
 		}
 		w, reason := s.pickOrReason(sched, from)
 		if w != nil {
+			//gpulint:allow hotalloc unreachable-by-contract panic path; formatting cost is irrelevant when the simulator is already broken
 			panic(fmt.Sprintf("sm %d: fast-forward across an issuable cycle at %d", s.id, from))
 		}
 		s.Stats.IssueStallCycles += k
