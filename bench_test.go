@@ -10,6 +10,7 @@ package gpusched_test
 //	go test -bench=Fig5 -benchtime=1x
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 	"sync"
@@ -118,6 +119,47 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 	})
+}
+
+// BenchmarkParallelTick measures how the two-phase tick scales with the
+// phase-A worker count on the same two bracket shapes as
+// BenchmarkSimulatorThroughput. workers=1 is the serial reference path;
+// results are byte-identical at every count (the golden determinism tests
+// enforce it), so the only thing that may change here is wall clock.
+// Speedup is workers=N simcycles/s over workers=1; compare ratios within
+// one host's record, not absolutes across hosts — a single-CPU runner
+// cannot show a speedup at all (the spin barrier just adds overhead there).
+func BenchmarkParallelTick(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stall-heavy/workers=%d", workers), func(b *testing.B) {
+			cfg := gpu.DefaultConfig()
+			cfg.Workers = workers
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, err := gpu.New(cfg, sim.Baseline().NewDispatcher(), workloads.ChaseSpec(1, 1, 1024))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				cycles += g.Run().Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+		b.Run(fmt.Sprintf("stencil/workers=%d", workers), func(b *testing.B) {
+			w, _ := gpusched.WorkloadByName("stencil")
+			cfg := gpusched.DefaultConfig()
+			cfg.Workers = workers
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := gpusched.MustRun(cfg, gpusched.Baseline(), w.Kernel(gpusched.SizeTiny))
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
 }
 
 // BenchmarkSchedulerOverheads compares the dispatch policies' wall cost on

@@ -49,6 +49,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr        = fs.String("addr", ":8080", "listen address")
 		workers     = fs.Int("workers", 0, "job runner goroutines (0 = NumCPU)")
 		simWorkers  = fs.Int("sim-workers", 0, "concurrent simulator executions (0 = NumCPU)")
+		tickWorkers = fs.Int("tick-workers", 0, "OS threads per simulation ticking the SMs (0 = GOMAXPROCS, 1 = serial; never changes results)")
 		queue       = fs.Int("queue", 64, "admission queue depth (full queue = HTTP 429)")
 		cacheDir    = fs.String("cache", "results/.simcache", "on-disk result cache directory ('off' = disabled)")
 		maxFlights  = fs.Int("max-flights", 4096, "in-memory result memo cap (0 = unbounded)")
@@ -64,7 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opt := sim.Options{Workers: *simWorkers, MaxFlights: *maxFlights}
+	opt := sim.Options{Workers: *simWorkers, TickWorkers: *tickWorkers, MaxFlights: *maxFlights}
 	if *cacheDir != "" && *cacheDir != "off" {
 		opt.CacheDir = *cacheDir
 	}

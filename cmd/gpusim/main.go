@@ -29,6 +29,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warpStr  = fs.String("warp", "gto", "warp scheduler: lrr | gto | baws")
 		sizeStr  = fs.String("size", "small", "problem size: tiny | small | full")
 		cores    = fs.Int("cores", 15, "SM count")
+		workers  = fs.Int("workers", 0, "OS threads ticking the SMs each cycle (0 = GOMAXPROCS, 1 = serial; never changes results)")
 		list     = fs.Bool("list", false, "list workloads and exit")
 		traceOut = fs.String("trace", "", "write a per-epoch timeline CSV to this file")
 		epoch    = fs.Uint64("epoch", 1024, "trace sampling period in cycles")
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg := gpusched.DefaultConfig()
 	cfg.Cores = *cores
+	cfg.Workers = *workers
 	cfg.WarpPolicy, err = gpusched.ParseWarpPolicy(*warpStr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

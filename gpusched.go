@@ -118,6 +118,11 @@ type Config struct {
 	WarpPolicy WarpPolicy
 	// MaxCycles bounds the simulation (0 = the 20M-cycle default).
 	MaxCycles uint64
+	// Workers is how many OS threads tick the simulated SMs each cycle
+	// (0 = derive from GOMAXPROCS, 1 = the serial reference path). It is
+	// an execution knob only: results are byte-identical for every worker
+	// count, so it never needs to appear in result caches or comparisons.
+	Workers int
 
 	// Advanced knobs. Nil fields keep Fermi-class defaults.
 	SM  *SMConfig
@@ -159,6 +164,7 @@ func (c Config) build() gpu.Config {
 	if c.MaxCycles > 0 {
 		g.MaxCycles = c.MaxCycles
 	}
+	g.Workers = c.Workers
 	return g
 }
 

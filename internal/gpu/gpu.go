@@ -7,8 +7,10 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"gpusched/internal/core"
+	"gpusched/internal/gpu/parexec"
 	"gpusched/internal/kernel"
 	"gpusched/internal/mem"
 	"gpusched/internal/sm"
@@ -31,6 +33,36 @@ type Config struct {
 	// way — the flag exists so tests can prove exactly that, and so
 	// suspected fast-forward bugs can be bisected against the reference.
 	DisableFastForward bool
+	// Workers is how many OS threads tick the SMs each cycle (phase A of
+	// the two-phase tick). 0 derives the count from GOMAXPROCS; 1 is the
+	// serial reference path. The count is execution-only: results are
+	// byte-identical for every value (the golden determinism tests diff
+	// worker counts against each other), so it never enters a cache key.
+	Workers int
+}
+
+// ResolveWorkers maps a Config.Workers value to the machine-derived worker
+// count before the per-instance SM clamp: zero and negative mean GOMAXPROCS.
+// Daemons use it to report the effective value of the knob they were
+// configured with (the gpuschedd_sim_workers gauge).
+func ResolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// resolveWorkers maps Config.Workers to the effective phase-A shard count:
+// GOMAXPROCS-derived when unset, never more than one shard per SM.
+func (c *Config) resolveWorkers() int {
+	w := ResolveWorkers(c.Workers)
+	if w > c.NumCores {
+		w = c.NumCores
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DefaultMaxCycles is the runaway-simulation cap applied when
@@ -99,6 +131,13 @@ type GPU struct {
 	// the placement and issue counters it decides whether the cycle was
 	// idle and the loop may consult the event horizon.
 	ctaEvent bool
+	// pendingRetire[c] collects core c's CTA retirements during phase A of
+	// a cycle. A core's SM appends only to its own list (so cores may tick
+	// concurrently); commitRetirements replays every list serially in
+	// core-index order before the memory system ticks, so the dispatcher,
+	// the observer, and the kernel bookkeeping see retirements in one fixed
+	// order whatever the phase-A interleaving was.
+	pendingRetire [][]*sm.CTA
 	// ffNextTry/ffBackoff throttle horizon probes. Probing costs real work
 	// (every scheduler and memory queue is consulted), so an attempt that
 	// finds nothing to skip doubles the wait before the next attempt; a
@@ -135,6 +174,7 @@ func New(cfg Config, d core.Dispatcher, specs ...*kernel.Spec) (*GPU, error) {
 		})
 	}
 	g.memsys = mem.NewSystem(&cfg.Mem, cfg.NumCores)
+	g.pendingRetire = make([][]*sm.CTA, cfg.NumCores)
 	g.cores = make([]*sm.SM, cfg.NumCores)
 	g.coreCfgs = make([]sm.Config, cfg.NumCores)
 	for i := range g.cores {
@@ -176,18 +216,42 @@ func (g *GPU) Core(i int) *sm.SM { return g.cores[i] }
 // Kernels implements core.Machine.
 func (g *GPU) Kernels() []*core.KernelState { return g.kernels }
 
+// onCTADone is the SMs' retirement callback. It may run on a phase-A worker
+// goroutine, so it only records the event in the retiring core's private
+// list; every side effect that touches shared state happens in
+// commitRetirements, serially.
 func (g *GPU) onCTADone(coreID int, cta *sm.CTA) {
-	g.ctaEvent = true
-	ks := g.kernels[cta.KernelIdx]
-	ks.Completed++
-	if ks.Done() {
-		ks.DoneCycle = g.now
-		g.doneCount++
+	g.pendingRetire[coreID] = append(g.pendingRetire[coreID], cta)
+}
+
+// commitRetirements replays the cycle's CTA retirements strictly in
+// core-index order (and, within a core, retirement order): kernel completion
+// bookkeeping, the experiment observer, then the dispatcher's
+// OnCTAComplete probe — the same per-CTA sequence the serial path has always
+// run, now at a fixed point of the cycle (after every core ticked, before
+// the memory system ticks).
+func (g *GPU) commitRetirements() {
+	for c := range g.pendingRetire {
+		list := g.pendingRetire[c]
+		if len(list) == 0 {
+			continue
+		}
+		for i, cta := range list {
+			g.ctaEvent = true
+			ks := g.kernels[cta.KernelIdx]
+			ks.Completed++
+			if ks.Done() {
+				ks.DoneCycle = g.now
+				g.doneCount++
+			}
+			if g.observer != nil {
+				g.observer(c, cta, g.now)
+			}
+			g.dispatcher.OnCTAComplete(g, c, cta)
+			list[i] = nil
+		}
+		g.pendingRetire[c] = list[:0]
 	}
-	if g.observer != nil {
-		g.observer(coreID, cta, g.now)
-	}
-	g.dispatcher.OnCTAComplete(g, coreID, cta)
 }
 
 // Run simulates to completion (or MaxCycles) and returns the result.
@@ -206,6 +270,16 @@ const ctxCheckInterval = 4096
 // the cycle loop stops mid-flight and the context's error is returned
 // alongside the partial result.
 //
+// Each cycle is two phases. Phase A ticks the SMs — concurrently over a
+// persistent worker pool when Config.Workers allows, serially otherwise;
+// either way each SM confines itself to core-private state (its pipeline,
+// its L1, its staging slot in the memory system, its retirement list).
+// Phase B is always serial: CTA retirements replay in core-index order,
+// then the memory system commits the staged traffic and ticks. The
+// committed state is a pure function of the request, independent of worker
+// count and interleaving (the golden determinism tests diff worker counts
+// byte-for-byte).
+//
 // The loop runs cycle-by-cycle while anything happens. After a cycle in
 // which no CTA was placed or retired and no instruction issued, it asks
 // every component for its event horizon — the earliest future cycle at
@@ -214,7 +288,8 @@ const ctxCheckInterval = 4096
 // approximate: every NextEvent bound is conservative and the skipped
 // window is provably frozen, so results are bit-identical to the
 // reference loop (Config.DisableFastForward selects it; the golden
-// determinism tests diff the two).
+// determinism tests diff the two). Horizon probes always run serially, on
+// the fully merged post-commit state.
 func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles == 0 {
@@ -223,6 +298,22 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	ff, _ := g.dispatcher.(core.FastForwarder)
 	if g.cfg.DisableFastForward {
 		ff = nil
+	}
+	var pool *parexec.Pool
+	var tickShard func(shard int)
+	if workers := g.cfg.resolveWorkers(); workers > 1 {
+		pool = parexec.New(workers)
+		defer pool.Close()
+		n := len(g.cores)
+		// One closure for the whole run: it reads g.now afresh each cycle,
+		// and the pool's release/join edges order that read against the
+		// serial phases.
+		tickShard = func(shard int) {
+			now := g.now
+			for i := shard * n / workers; i < (shard+1)*n/workers; i++ {
+				g.cores[i].Tick(now)
+			}
+		}
 	}
 	done := ctx.Done()
 	for g.doneCount < len(g.kernels) && g.now < maxCycles {
@@ -240,9 +331,14 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 		issued := g.issuedTotal()
 		g.ctaEvent = false
 		g.dispatcher.Tick(g)
-		for _, c := range g.cores {
-			c.Tick(g.now)
+		if pool != nil {
+			pool.Run(tickShard)
+		} else {
+			for _, c := range g.cores {
+				c.Tick(g.now)
+			}
 		}
+		g.commitRetirements()
 		g.memsys.Tick(g.now)
 		idle := ff != nil && !g.ctaEvent &&
 			g.dispatchedCTAs() == dispatched && g.issuedTotal() == issued

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"reflect"
 	"testing"
 
 	"gpusched/internal/core"
@@ -290,5 +291,50 @@ func TestTimeoutReported(t *testing.T) {
 	}
 	if r := g.Run(); !r.TimedOut {
 		t.Fatal("100-cycle budget did not time out")
+	}
+}
+
+// TestWorkerCountInvariance is the package-level statement of the parallel
+// tick's contract: the committed Result is a pure function of the request,
+// whatever Config.Workers says (the harness golden tests restate this over
+// every experiment and full Result rendering). Worker counts above
+// GOMAXPROCS are included deliberately — oversubscription changes the
+// interleaving as violently as extra cores do.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, name := range []string{"stencil", "spmv"} {
+		w, _ := workloads.ByName(name)
+		for _, d := range []func() core.Dispatcher{
+			func() core.Dispatcher { return core.NewRoundRobin() },
+			func() core.Dispatcher { return core.NewLCS() },
+		} {
+			cfg := testConfig()
+			cfg.Workers = 1
+			base := mustRun(t, cfg, d(), w.Build(workloads.ScaleTest))
+			sched := d().Name()
+			for _, workers := range []int{2, 3, 7} {
+				cfg := testConfig()
+				cfg.Workers = workers
+				r := mustRun(t, cfg, d(), w.Build(workloads.ScaleTest))
+				if !reflect.DeepEqual(r, base) {
+					t.Errorf("%s/%s: Workers=%d diverged from Workers=1:\n%+v\nvs\n%+v",
+						name, sched, workers, r, base)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvarianceNoFastForward pins the same contract on the
+// reference loop, so a fast-forward interaction cannot mask a phase-A
+// ordering bug (or vice versa).
+func TestWorkerCountInvarianceNoFastForward(t *testing.T) {
+	w, _ := workloads.ByName("stencil")
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.DisableFastForward = true
+	base := mustRun(t, cfg, core.NewBCS(), w.Build(workloads.ScaleTest))
+	cfg.Workers = 4
+	if r := mustRun(t, cfg, core.NewBCS(), w.Build(workloads.ScaleTest)); !reflect.DeepEqual(r, base) {
+		t.Errorf("Workers=4 (no FF) diverged from Workers=1:\n%+v\nvs\n%+v", r, base)
 	}
 }

@@ -1,0 +1,199 @@
+// Package parexec is the one deliberate concurrency carve-out inside the
+// cycle-loop packages: a fixed-size pool of persistent workers that executes
+// one "tick the shard" closure per simulated cycle and then joins. The model
+// packages (sm, mem, core) stay goroutine-free — they never import this
+// package and never observe it; gpu.RunContext alone decides what runs in
+// parallel, and only state that is provably core-private (each SM, its L1,
+// its staging slot in mem.System) is touched between release and join.
+// Determinism is therefore preserved by construction: the pool controls
+// *when* work happens, never *what* the committed state becomes. See
+// DESIGN.md "Two-phase parallel tick" for the commit protocol this serves
+// and the rationale for the //gpulint:allow nogoroutine annotations below.
+//
+// The barrier is spin-then-park on both edges. A simulated cycle is a few
+// microseconds of work, so workers poll the release epoch for a bounded
+// number of iterations (the common case: the next cycle arrives while they
+// spin) and only then park on a buffered channel; the releaser wakes exactly
+// the workers that committed to parking, via a three-state CAS handshake
+// that cannot lose a wakeup. No goroutine is spawned after New.
+package parexec
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Worker park states. Only the owning worker moves spinning->parked and
+// back to spinning; only a releaser moves parked->waking (claiming the
+// wake and the right to send the park token).
+const (
+	stateSpinning int32 = iota // running, or polling the epoch
+	stateParked                // committed to sleeping on the park channel
+	stateWaking                // a releaser claimed the wake; token in flight
+)
+
+// spinIters bounds epoch polling before a worker parks. At ~1ns per atomic
+// load this is several microseconds — about one simulated cycle — so parking
+// only happens across genuinely idle stretches (serial phases, the caller
+// doing non-simulation work between runs).
+const spinIters = 1 << 12
+
+// joinSpinIters bounds the caller's poll for stragglers after finishing its
+// own shard. Shards are balanced, so the join usually succeeds in the first
+// few iterations.
+const joinSpinIters = 1 << 12
+
+// spinYield is how often a spin loop yields the processor. It keeps the
+// barrier honest when shards outnumber cores (GOMAXPROCS < pool size): a
+// spinning goroutine must not starve the one that has the work.
+const spinYield = 1 << 9
+
+type worker struct {
+	_     [64]byte     // keep each worker's state off its neighbours' cache lines
+	state atomic.Int32 // stateSpinning / stateParked / stateWaking
+	//gpulint:allow nogoroutine park is the worker's wake channel; the CAS handshake on state guarantees at most one token in flight, and no simulated state crosses it
+	park chan struct{}
+}
+
+// Pool executes fn(shard) for every shard on each Run, reusing the same
+// goroutines for the lifetime of the pool. Shard count is fixed at New.
+// Run and Close must be called from one goroutine (the cycle loop's owner).
+type Pool struct {
+	fn      func(shard int)
+	epoch   atomic.Uint32 // incremented by release; workers wait on it
+	pending atomic.Int32  // workers that have not finished the current Run
+	waiting atomic.Int32  // 1 while the caller is parked on done
+	//gpulint:allow nogoroutine done carries the join signal from the last finisher to a parked caller; the waiting-flag swap guarantees exactly one matched send/receive per Run
+	done    chan struct{}
+	workers []*worker
+	shards  int
+	closed  bool
+}
+
+// New builds a pool of `shards` shards. The caller's goroutine runs the
+// highest shard inline during Run, so shards-1 worker goroutines are
+// spawned. shards < 1 is treated as 1 (a pool that runs everything inline).
+func New(shards int) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Pool{shards: shards}
+	//gpulint:allow nogoroutine the join channel of the carve-out barrier (see package comment)
+	p.done = make(chan struct{}, 1)
+	for i := 0; i < shards-1; i++ {
+		w := &worker{}
+		//gpulint:allow nogoroutine per-worker wake channel of the carve-out barrier; buffered so the releaser never blocks
+		w.park = make(chan struct{}, 1)
+		p.workers = append(p.workers, w)
+		//gpulint:allow nogoroutine the pool's persistent workers, spawned once at construction — never per cycle; they only ever execute the closure Run installs
+		go p.loop(w, i)
+	}
+	return p
+}
+
+// Shards returns the shard count fn is invoked with.
+func (p *Pool) Shards() int { return p.shards }
+
+// Run invokes fn(shard) for shard in [0, Shards()) — shards 0..n-2 on the
+// persistent workers, the last shard on the calling goroutine — and returns
+// after every invocation has completed. fn must confine itself to
+// shard-private state; Run provides the memory barrier on both edges
+// (release via the epoch, join via the pending counter), so phase B code
+// running after Run sees every write the shards made.
+func (p *Pool) Run(fn func(shard int)) {
+	if p.closed {
+		panic("parexec: Run on closed Pool")
+	}
+	n := len(p.workers)
+	if n > 0 {
+		p.fn = fn
+		p.pending.Store(int32(n))
+		p.release()
+	}
+	fn(p.shards - 1)
+	if n == 0 {
+		return
+	}
+	for i := 1; i <= joinSpinIters; i++ {
+		if p.pending.Load() == 0 {
+			return
+		}
+		if i%spinYield == 0 {
+			runtime.Gosched()
+		}
+	}
+	// Park until the last finisher signals. Arm the waiting flag, then
+	// re-check: if the stragglers finished between the poll and the arm,
+	// disarming tells us whether a send is already committed (the finisher
+	// swaps the flag before sending, so exactly one side wins it).
+	p.waiting.Store(1)
+	if p.pending.Load() == 0 && p.waiting.Swap(0) == 1 {
+		return // finisher never saw the armed flag; no token in flight
+	}
+	//gpulint:allow nogoroutine join edge of the carve-out barrier: consumes the single token the matched finisher sent
+	<-p.done
+}
+
+// Close stops the worker goroutines. The pool must be idle (no Run in
+// flight). Safe to call more than once.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if len(p.workers) > 0 {
+		p.release()
+	}
+}
+
+// release publishes a new epoch and wakes every worker that committed to
+// parking. Workers still spinning observe the epoch themselves; a worker
+// racing into the park path re-checks the epoch after flagging itself
+// parked, so the wakeup cannot be lost.
+func (p *Pool) release() {
+	p.epoch.Add(1)
+	for _, w := range p.workers {
+		if w.state.CompareAndSwap(stateParked, stateWaking) {
+			//gpulint:allow nogoroutine wake a parked worker; the parked->waking CAS above claimed the sole right to send this token
+			w.park <- struct{}{}
+		}
+	}
+}
+
+// loop is one persistent worker: wait for the next epoch (spin, then park),
+// run the installed closure on this worker's shard, and report completion.
+func (p *Pool) loop(w *worker, shard int) {
+	seen := uint32(0)
+	for {
+		for spins := 0; p.epoch.Load() == seen; {
+			spins++
+			if spins%spinYield == 0 {
+				runtime.Gosched()
+			}
+			if spins < spinIters {
+				continue
+			}
+			spins = 0
+			// Commit to parking, then re-check the epoch: a release that
+			// raced in between the poll and the CAS either sees our parked
+			// state (and sends a token) or we un-park ourselves.
+			if w.state.CompareAndSwap(stateSpinning, stateParked) {
+				if p.epoch.Load() != seen && w.state.CompareAndSwap(stateParked, stateSpinning) {
+					continue // released ourselves; no token in flight
+				}
+				//gpulint:allow nogoroutine park edge of the carve-out barrier: sleeps until release; the state machine guarantees the matched token arrives
+				<-w.park
+				w.state.Store(stateSpinning)
+			}
+		}
+		seen++
+		if p.closed {
+			return
+		}
+		p.fn(shard)
+		if p.pending.Add(-1) == 0 && p.waiting.Swap(0) == 1 {
+			//gpulint:allow nogoroutine last finisher wakes a parked caller; the waiting-flag swap claimed the sole right to send
+			p.done <- struct{}{}
+		}
+	}
+}

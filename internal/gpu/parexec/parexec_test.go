@@ -1,0 +1,101 @@
+package parexec
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunInvokesEveryShardOnce(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8, 17} {
+		p := New(shards)
+		hits := make([]atomic.Int64, shards)
+		for round := 0; round < 200; round++ {
+			p.Run(func(shard int) { hits[shard].Add(1) })
+		}
+		p.Close()
+		for i := range hits {
+			if got := hits[i].Load(); got != 200 {
+				t.Fatalf("shards=%d: shard %d ran %d times, want 200", shards, i, got)
+			}
+		}
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	// Phase B code after Run must see every shard's writes. Alternate two
+	// dependent phases many times; any missing join or release edge makes
+	// the accumulated sum diverge (and the race detector scream).
+	const shards = 4
+	p := New(shards)
+	defer p.Close()
+	partial := make([]int64, shards*16) // spaced to keep the test honest, not the cache
+	var sum int64
+	for round := 0; round < 500; round++ {
+		p.Run(func(shard int) { partial[shard*16] = int64(shard + round) })
+		for i := 0; i < shards; i++ {
+			sum += partial[i*16]
+		}
+	}
+	var want int64
+	for round := 0; round < 500; round++ {
+		for i := 0; i < shards; i++ {
+			want += int64(i + round)
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestWorkersParkAndRewake(t *testing.T) {
+	// Force the park path: give the workers far longer than the spin budget
+	// between runs, then verify the next Run still reaches every shard.
+	p := New(3)
+	defer p.Close()
+	var n atomic.Int64
+	fn := func(shard int) { n.Add(1) }
+	for round := 0; round < 3; round++ {
+		p.Run(fn)
+		// Burn enough scheduler quanta that spinning workers give up.
+		for i := 0; i < 3*spinIters; i++ {
+			if i%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	if got := n.Load(); got != 9 {
+		t.Fatalf("ran %d shard invocations, want 9", got)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsWorkers(t *testing.T) {
+	p := New(4)
+	p.Run(func(int) {})
+	p.Close()
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	p.Run(func(int) {})
+}
+
+func TestSingleShardPoolRunsInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	if p.Shards() != 1 {
+		t.Fatalf("Shards() = %d", p.Shards())
+	}
+	ran := false
+	p.Run(func(shard int) {
+		if shard != 0 {
+			t.Fatalf("shard = %d", shard)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("fn not invoked")
+	}
+}

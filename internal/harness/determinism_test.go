@@ -42,6 +42,30 @@ func TestGoldenFastForwardDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenTickWorkerDeterminism is the gate on the two-phase parallel
+// tick: every experiment, run with the serial reference path (TickWorkers=1)
+// and with explicitly parallel shard counts, must render byte-identical
+// tables. The worker counts cross the SM count (7 shards over 15 cores,
+// GOMAXPROCS whatever the host has) so uneven shard boundaries are
+// exercised, not just the balanced split.
+func TestGoldenTickWorkerDeterminism(t *testing.T) {
+	counts := []int{2, 7, runtime.GOMAXPROCS(0)}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := renderExperiment(t, e, Options{Scale: workloads.ScaleTest, TickWorkers: 1})
+			for _, n := range counts {
+				par := renderExperiment(t, e, Options{Scale: workloads.ScaleTest, TickWorkers: n})
+				if !bytes.Equal(serial, par) {
+					t.Errorf("tick workers=%d changed %s:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+						n, e.ID, serial, n, par)
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenDeterminismAcrossGOMAXPROCS pins down that worker parallelism
 // never leaks into results: one experiment run on a single-threaded
 // scheduler must match the default parallel run bit for bit.

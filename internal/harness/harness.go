@@ -37,6 +37,11 @@ type Options struct {
 	// determinism tests run every experiment both ways and require
 	// identical tables.
 	NoFastForward bool
+	// TickWorkers is the per-simulation worker count for the two-phase
+	// parallel tick (0 = GOMAXPROCS, 1 = serial reference). Execution
+	// only: the golden determinism tests require identical tables for
+	// every value.
+	TickWorkers int
 }
 
 // Table is one rendered experiment.
@@ -116,8 +121,9 @@ func New(opt Options) *Harness {
 	return &Harness{
 		opt: opt,
 		svc: sim.NewService(sim.Options{
-			Progress: opt.Progress,
-			CacheDir: opt.CacheDir,
+			Progress:    opt.Progress,
+			CacheDir:    opt.CacheDir,
+			TickWorkers: opt.TickWorkers,
 		}),
 	}
 }

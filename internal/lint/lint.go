@@ -18,16 +18,22 @@ import (
 // function of their inputs: everything between a kernel spec and a result
 // table. detmap and wallclock police these.
 var DetPackages = []string{
-	"internal/gpu", "internal/sm", "internal/mem", "internal/core",
-	"internal/kernel", "internal/isa", "internal/workloads",
+	"internal/gpu", "internal/gpu/parexec", "internal/sm", "internal/mem",
+	"internal/core", "internal/kernel", "internal/isa", "internal/workloads",
 	"internal/harness", "internal/stats",
 }
 
 // CycleLoopPackages are the subset that executes inside gpu.RunContext's
 // cycle loop, where any goroutine or channel operation would make replay
 // (and the event-horizon fast-forward) unsound. nogoroutine polices these.
+// internal/gpu/parexec is deliberately included even though it exists to
+// run goroutines: every concurrency primitive in it must carry a reasoned
+// //gpulint:allow nogoroutine, so the carve-out stays enumerable and
+// reviewed instead of becoming a blanket exemption (DESIGN.md "Two-phase
+// parallel tick").
 var CycleLoopPackages = []string{
-	"internal/gpu", "internal/sm", "internal/mem", "internal/core",
+	"internal/gpu", "internal/gpu/parexec", "internal/sm", "internal/mem",
+	"internal/core",
 }
 
 // ScopedAnalyzer pairs an analyzer with the packages it applies to.

@@ -38,6 +38,11 @@ type L1 struct {
 	cfg   *Config
 	port  Sender
 	core  int
+
+	// atomicToken is the reusable one-element buffer OnResponse returns for
+	// atomic completions, valid (like MSHR.Complete's result) only until the
+	// next response.
+	atomicToken [1]uint32
 }
 
 // NewL1 builds the L1 for core coreID with injection port p.
@@ -108,10 +113,12 @@ func (l *L1) Atomic(lineAddr uint64, token uint32, now uint64) AccessResult {
 // their own token (no fill). The caller distinguishes the two via wasAtomic
 // from its own pending-access table — resp.Atomic is advisory only (an L2
 // merge can stamp a plain load's response with it, but that load still owns
-// an L1 MSHR entry that must complete).
+// an L1 MSHR entry that must complete). The returned slice aliases a
+// recycled buffer; consume it before the next access or response.
 func (l *L1) OnResponse(resp Response, wasAtomic bool) []uint32 {
 	if wasAtomic {
-		return []uint32{resp.Token}
+		l.atomicToken[0] = resp.Token
+		return l.atomicToken[:]
 	}
 	l.cache.Fill(resp.LineAddr, false)
 	return l.mshr.Complete(resp.LineAddr)

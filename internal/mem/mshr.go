@@ -4,8 +4,21 @@ package mem
 // outstanding fill and merges subsequent misses to the same line so only one
 // request per line leaves the cache. Tokens of merged requesters are
 // released together when the fill completes.
+//
+// The file is slot-based: maxEntries token buffers are allocated once and
+// recycled through a free list, so steady-state operation allocates nothing
+// (primary misses are the hottest allocation site in long simulations
+// otherwise). The slice Complete returns aliases the retired entry's slot
+// buffer and is valid only until the next Allocate — both cache levels
+// consume it before returning to the cycle loop.
 type MSHR struct {
-	entries    map[uint64][]uint32
+	// entries maps a pending line to its slot index.
+	entries map[uint64]int32
+	// slots holds the per-entry token buffers; retired buffers keep their
+	// backing arrays (capacity grows to maxMerges once and stays).
+	slots [][]uint32
+	free  []int32
+
 	maxEntries int
 	maxMerges  int
 }
@@ -19,11 +32,18 @@ func NewMSHR(maxEntries, maxMerges int) *MSHR {
 	if maxMerges <= 0 {
 		maxMerges = 1
 	}
-	return &MSHR{
-		entries:    make(map[uint64][]uint32, maxEntries),
+	m := &MSHR{
+		entries:    make(map[uint64]int32, maxEntries),
+		slots:      make([][]uint32, maxEntries),
+		free:       make([]int32, 0, maxEntries),
 		maxEntries: maxEntries,
 		maxMerges:  maxMerges,
 	}
+	for i := maxEntries - 1; i >= 0; i-- {
+		m.slots[i] = make([]uint32, 0, 2)
+		m.free = append(m.free, int32(i))
+	}
+	return m
 }
 
 // Pending reports whether lineAddr already has an outstanding fill.
@@ -33,7 +53,7 @@ func (m *MSHR) Pending(lineAddr uint64) bool {
 }
 
 // Full reports whether no new line entry can be allocated.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntries }
+func (m *MSHR) Full() bool { return len(m.free) == 0 }
 
 // Allocate records a primary miss for lineAddr carrying token. It returns
 // false when the MSHR file is full (the access must retry). lineAddr must
@@ -45,34 +65,40 @@ func (m *MSHR) Allocate(lineAddr uint64, token uint32) bool {
 	if _, ok := m.entries[lineAddr]; ok {
 		panic("mem: MSHR Allocate on already-pending line")
 	}
-	m.entries[lineAddr] = append(make([]uint32, 0, 2), token)
+	s := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.slots[s] = append(m.slots[s][:0], token)
+	m.entries[lineAddr] = s
 	return true
 }
 
 // Merge attaches token to the pending entry for lineAddr. It returns false
 // when the per-line merge capacity is exhausted (the access must retry).
 func (m *MSHR) Merge(lineAddr uint64, token uint32) bool {
-	toks, ok := m.entries[lineAddr]
+	s, ok := m.entries[lineAddr]
 	if !ok {
 		panic("mem: MSHR Merge on non-pending line")
 	}
-	if len(toks) >= m.maxMerges {
+	if len(m.slots[s]) >= m.maxMerges {
 		return false
 	}
-	m.entries[lineAddr] = append(toks, token)
+	m.slots[s] = append(m.slots[s], token)
 	return true
 }
 
 // Complete retires the entry for lineAddr and returns all waiting tokens in
-// arrival order. Completing a non-pending line returns nil (a response can
-// race a flush only in tests; real fills always have an entry).
+// arrival order. The returned slice aliases the recycled slot buffer: it is
+// valid only until the next Allocate, so callers must consume it before
+// issuing new misses. Completing a non-pending line returns nil (a response
+// can race a flush only in tests; real fills always have an entry).
 func (m *MSHR) Complete(lineAddr uint64) []uint32 {
-	toks, ok := m.entries[lineAddr]
+	s, ok := m.entries[lineAddr]
 	if !ok {
 		return nil
 	}
 	delete(m.entries, lineAddr)
-	return toks
+	m.free = append(m.free, s)
+	return m.slots[s]
 }
 
 // Used returns the number of occupied line entries.

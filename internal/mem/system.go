@@ -7,9 +7,33 @@ import "gpusched/internal/stats"
 // through per-core Port values (which implement Sender for their L1) and
 // drain responses with PopResponse each cycle.
 //
-// Tick order within a cycle is fixed and deterministic: partitions are
-// visited in index order, so identical configurations and workloads replay
-// identical cycle counts.
+// Injection is *staged*: within a cycle, a port's Send appends to its core's
+// private staging slot and CanSend admits against the crossbar occupancy
+// snapshotted at the end of the previous Tick (plus the core's own staged
+// requests). Tick then commits every staged request into the request
+// crossbar in core-index order before the partitions run. Two properties
+// follow, and both are load-bearing:
+//
+//   - Core isolation: while the cores tick, a core touches only its own
+//     staging slot and its own response pipe, so the GPU may tick cores
+//     concurrently (phase A of the two-phase tick, DESIGN.md) without any
+//     core observing another's same-cycle traffic.
+//   - Determinism: a core's admission verdict depends only on the snapshot
+//     and its own staged requests — never on how the other cores' same-cycle
+//     sends are interleaved — so the committed state is identical whatever
+//     order (or parallelism) the cores ticked in.
+//
+// The snapshot admits conservatively against the *committed* queue: several
+// cores may each be admitted into the same nearly-full partition queue in
+// one cycle, so a commit may transiently exceed the configured capacity by
+// at most numCores-1 entries (each core stages at most the snapshot's free
+// space). The pipe absorbs the overshoot and CanSend reports the partition
+// full until it drains back under the bound — backpressure is preserved,
+// just assessed once per cycle instead of once per send.
+//
+// Tick order within a cycle is fixed and deterministic: staged requests
+// commit in core-index order, then partitions are visited in index order, so
+// identical configurations and workloads replay identical cycle counts.
 type System struct {
 	cfg        *Config
 	partitions []*L2Partition
@@ -17,11 +41,34 @@ type System struct {
 	toPart []*pipe[Request]
 	// toCore[c] carries responses back to core c (response crossbar).
 	toCore []*pipe[Response]
-	// inflight counts requests anywhere in the hierarchy: +1 on Send and on
-	// write-back spawn, -1 where a request leaves (a response popped, a
-	// store absorbed by an L2 hit, a write burst scheduled at DRAM). It
-	// makes Drained — probed every cycle by the top-level loop — O(1).
+	// slots[c] is core c's staging area. During a cycle each core mutates
+	// only its own slot; Tick folds every slot serially.
+	slots []coreSlot
+	// snapLen[i] is toPart[i].Len() at the end of the previous Tick — the
+	// occupancy CanSend admits against.
+	snapLen []int
+	// xbarCap mirrors the request pipes' capacity clamp (see newPipe).
+	xbarCap int
+	// inflight counts requests anywhere in the hierarchy: +1 where a staged
+	// request commits and on write-back spawn, -1 where a request leaves (a
+	// response popped, a store absorbed by an L2 hit, a write burst scheduled
+	// at DRAM). Pops are recorded per-core during the cycle and folded here
+	// by Tick, so Drained stays cheap and the cores never write shared state.
 	inflight int
+}
+
+// coreSlot is one core's cycle-private staging area. The trailing pad keeps
+// neighbouring cores' slots off each other's cache lines when the cores tick
+// in parallel.
+type coreSlot struct {
+	// staged holds the requests sent this cycle, in send order.
+	staged []Request
+	// perPart counts staged requests by target partition (CanSend adds
+	// these to the snapshot so a core cannot overrun a queue on its own).
+	perPart []int
+	// pops counts responses popped this cycle, folded into inflight at Tick.
+	pops int
+	_    [64]byte
 }
 
 // NeverEvent is the NextEvent bound meaning "no time-driven work pending".
@@ -43,6 +90,12 @@ func NewSystem(cfg *Config, numCores int) *System {
 		// responses must always drain or the hierarchy deadlocks.
 		s.toCore[c] = newPipe[Response](cfg.XbarQueueCap*cfg.Partitions, cfg.XbarLatency)
 	}
+	s.slots = make([]coreSlot, numCores)
+	for c := range s.slots {
+		s.slots[c].perPart = make([]int, cfg.Partitions)
+	}
+	s.snapLen = make([]int, cfg.Partitions)
+	s.xbarCap = s.toPart[0].cap
 	return s
 }
 
@@ -57,50 +110,94 @@ type port struct {
 	core int
 }
 
+// CanSend admits against the start-of-cycle snapshot plus this core's own
+// staged requests — deliberately blind to other cores' same-cycle sends, so
+// the verdict is identical however the cores' ticks interleave.
 func (p *port) CanSend(lineAddr uint64) bool {
-	return p.sys.toPart[p.sys.cfg.PartitionOf(lineAddr)].CanPush()
+	s := p.sys
+	tgt := s.cfg.PartitionOf(lineAddr)
+	return s.snapLen[tgt]+s.slots[p.core].perPart[tgt] < s.xbarCap
 }
 
+// Send stages the request in the core's private slot; Tick commits it.
 func (p *port) Send(req Request, now uint64) {
-	tgt := p.sys.cfg.PartitionOf(req.LineAddr)
-	if !p.sys.toPart[tgt].Push(now, req) {
+	s := p.sys
+	tgt := s.cfg.PartitionOf(req.LineAddr)
+	sl := &s.slots[p.core]
+	if s.snapLen[tgt]+sl.perPart[tgt] >= s.xbarCap {
 		panic("mem: Send without CanSend")
 	}
-	p.sys.inflight++
+	sl.staged = append(sl.staged, req)
+	sl.perPart[tgt]++
 }
 
-// PopResponse returns the next ready response for coreID, if any.
+// PopResponse returns the next ready response for coreID, if any. The
+// in-flight accounting is deferred to the core's slot so concurrent cores
+// never write shared state.
 func (s *System) PopResponse(coreID int, now uint64) (Response, bool) {
 	q := s.toCore[coreID]
 	if !q.CanPop(now) {
 		return Response{}, false
 	}
-	s.inflight--
+	s.slots[coreID].pops++
 	return q.Pop(), true
 }
 
-// Tick advances every partition and both crossbars one cycle.
+// Tick commits the cycle's staged traffic, advances every partition and both
+// crossbars one cycle, and refreshes the admission snapshot. It must be
+// called serially (phase B of the two-phase tick).
 func (s *System) Tick(now uint64) {
+	s.commitStaged(now)
 	for i, p := range s.partitions {
 		in := s.toPart[i]
 		p.Tick(now, in, func(core int, resp Response) bool {
 			return s.toCore[core].Push(now, resp)
 		})
 	}
+	for i, q := range s.toPart {
+		s.snapLen[i] = q.Len()
+	}
+}
+
+// commitStaged drains every core's staging slot into the request crossbar in
+// core-index order and folds the per-core pop counts into inflight. The
+// force-push may exceed the queue bound transiently (see the type comment);
+// entries keep the same ready cycle a direct send would have had.
+func (s *System) commitStaged(now uint64) {
+	for c := range s.slots {
+		sl := &s.slots[c]
+		for i := range sl.staged {
+			tgt := s.cfg.PartitionOf(sl.staged[i].LineAddr)
+			s.toPart[tgt].forcePush(now, sl.staged[i])
+			s.inflight++
+		}
+		sl.staged = sl.staged[:0]
+		for i := range sl.perPart {
+			sl.perPart[i] = 0
+		}
+		s.inflight -= sl.pops
+		sl.pops = 0
+	}
 }
 
 // Drained reports whether no requests or responses remain anywhere in the
-// hierarchy. Used by the top-level loop to detect quiescence and by tests as
-// a leak check. O(1): the in-flight counter tracks every request from Send
-// to the point it leaves the hierarchy (drainedScan is the checkable
-// definition it must agree with).
+// hierarchy — staged-but-uncommitted sends count as in flight, responses
+// popped but not yet folded do not. Used by the top-level loop to detect
+// quiescence and by tests as a leak check. O(numCores): the in-flight
+// counter tracks every committed request, corrected by the cycle's
+// not-yet-folded slot activity (drainedScan is the checkable definition it
+// must agree with).
 func (s *System) Drained(now uint64) bool {
-	return s.inflight == 0
+	n := s.inflight
+	for c := range s.slots {
+		n += len(s.slots[c].staged) - s.slots[c].pops
+	}
+	return n == 0
 }
 
 // drainedScan is the structural definition of quiescence: no request or
-// response buffered anywhere. Tests assert it stays equivalent to the
-// counter-based Drained.
+// response buffered (or staged) anywhere. Tests assert it stays equivalent
+// to the counter-based Drained.
 func (s *System) drainedScan() bool {
 	for _, p := range s.partitions {
 		if !p.Drained() {
@@ -117,14 +214,26 @@ func (s *System) drainedScan() bool {
 			return false
 		}
 	}
+	for c := range s.slots {
+		if len(s.slots[c].staged) > 0 {
+			return false
+		}
+	}
 	return true
 }
 
 // NextEvent returns the earliest cycle >= now at which the hierarchy can
-// make progress on its own: a partition acting (its request pipe included)
-// or a response reaching a core's pop point. NeverEvent means the hierarchy
-// is quiescent until a core sends a new request.
+// make progress on its own: a staged request committing at the next Tick, a
+// partition acting (its request pipe included) or a response reaching a
+// core's pop point. NeverEvent means the hierarchy is quiescent until a core
+// sends a new request. (Unfolded pop counts are bookkeeping, not progress,
+// and do not bound the event.)
 func (s *System) NextEvent(now uint64) uint64 {
+	for c := range s.slots {
+		if len(s.slots[c].staged) > 0 {
+			return now
+		}
+	}
 	next := uint64(NeverEvent)
 	for i, p := range s.partitions {
 		if ev := p.NextEvent(now, s.toPart[i]); ev < next {

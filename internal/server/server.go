@@ -249,5 +249,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, s.jobs.stats(), s.svc.Stats(), s.jobs.cycles)
+	writeMetrics(w, s.jobs.stats(), s.svc.Stats(), s.svc.TickWorkers(), s.jobs.cycles)
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -156,6 +157,7 @@ func TestJobLifecycleEndToEnd(t *testing.T) {
 		`gpuschedd_jobs_finished_total{state="done"} 1`,
 		"gpuschedd_job_cycles_count 1",
 		"gpuschedd_queue_capacity 64",
+		fmt.Sprintf("gpuschedd_sim_workers %d", runtime.GOMAXPROCS(0)),
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("/metrics missing %q", want)

@@ -16,6 +16,13 @@ import (
 type Options struct {
 	// Workers bounds concurrent simulations (0 = NumCPU).
 	Workers int
+	// TickWorkers is the per-simulation worker count for the GPU's
+	// two-phase parallel tick (gpu.Config.Workers): 0 derives it from
+	// GOMAXPROCS, 1 forces the serial reference path. It is an execution
+	// knob only — results are byte-identical for every value — so it is
+	// deliberately NOT part of Request.Key: cached outcomes stay valid
+	// across worker-count changes.
+	TickWorkers int
 	// CacheDir, when non-empty, enables the on-disk result cache
 	// (conventionally results/.simcache).
 	CacheDir string
@@ -168,6 +175,11 @@ func (s *Service) RunAll(ctx context.Context, reqs []Request) error {
 	return errors.Join(errs...)
 }
 
+// TickWorkers returns the effective per-simulation worker count the
+// Service runs with (the configured knob, GOMAXPROCS-resolved; individual
+// simulations may clamp further to their SM count).
+func (s *Service) TickWorkers() int { return gpu.ResolveWorkers(s.opt.TickWorkers) }
+
 // Stats returns a snapshot of the request counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
@@ -203,7 +215,11 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 	}
 
 	d := req.Sched.NewDispatcher()
-	g, err := gpu.New(req.config(), d, specs...)
+	cfg := req.config()
+	// Execution-only knob: applied after the key-covered config is built,
+	// so it can never leak into cache identity.
+	cfg.Workers = s.opt.TickWorkers
+	g, err := gpu.New(cfg, d, specs...)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)
 	}

@@ -52,6 +52,12 @@ type ldstUnit struct {
 	free  []uint32
 
 	hits []hitEvent
+
+	// linePool recycles the coalesced-line buffers of retired queue entries
+	// so a long run allocates O(queue cap) line slices total instead of one
+	// per global memory instruction. Entries own their buffer from accept
+	// to popHead.
+	linePool [][]uint64
 }
 
 func newLDSTUnit(s *SM) *ldstUnit {
@@ -79,11 +85,29 @@ func (u *ldstUnit) canAccept(writesReg bool) bool {
 	return true
 }
 
+// takeLines pops a recycled line buffer (nil when the pool is empty — the
+// first few instructions grow fresh buffers that then circulate forever).
+func (u *ldstUnit) takeLines() []uint64 {
+	n := len(u.linePool)
+	if n == 0 {
+		return nil
+	}
+	s := u.linePool[n-1]
+	u.linePool[n-1] = nil
+	u.linePool = u.linePool[:n-1]
+	return s[:0]
+}
+
 // accept enqueues the issued memory instruction. Caller checked canAccept.
+// It is on the per-issue hot path: the coalesced-line buffer comes from the
+// unit's pool, and the queue/table appends below are bounded by
+// LDSTQueueCap/MaxPendingLoads, so steady state allocates nothing.
+//
+//gpulint:hotpath
 func (u *ldstUnit) accept(w *Warp, wi *isa.WarpInstr, now uint64) {
 	e := ldstEntry{warp: w, wi: *wi}
 	if wi.Op.IsGlobal() {
-		e.lines = mem.Coalesce(nil, wi, w.cta.AddrBase, u.sm.memCfg.LineBytes)
+		e.lines = mem.Coalesce(u.takeLines(), wi, w.cta.AddrBase, u.sm.memCfg.LineBytes)
 	}
 	if wi.Op.WritesRegister() {
 		tok := u.free[len(u.free)-1]
@@ -104,6 +128,7 @@ func (u *ldstUnit) accept(w *Warp, wi *isa.WarpInstr, now uint64) {
 			w.readyAt[wi.Dst] = notReady
 		}
 	}
+	//gpulint:allow hotalloc queue append is bounded by LDSTQueueCap (canAccept gates entry); the backing array stops growing after the first few instructions
 	u.queue = append(u.queue, e)
 }
 
@@ -147,6 +172,10 @@ func (u *ldstUnit) tickShared(e *ldstEntry, now uint64) {
 	u.popHead()
 }
 
+// tickGlobal sends the head instruction's next line transaction — the
+// per-cycle step of the LDST issue path.
+//
+//gpulint:hotpath
 func (u *ldstUnit) tickGlobal(e *ldstEntry, now uint64) {
 	if e.next >= len(e.lines) {
 		// Mask-empty access: nothing to send.
@@ -162,6 +191,7 @@ func (u *ldstUnit) tickGlobal(e *ldstEntry, now uint64) {
 	case isa.OpLoadGlobal:
 		res = u.sm.l1.Load(line, e.token, now)
 		if res == mem.AccessHit {
+			//gpulint:allow hotalloc hits append is bounded by MaxPendingLoads (one event per outstanding token); the backing array reaches steady state immediately
 			u.hits = append(u.hits, hitEvent{at: now + u.sm.memCfg.L1HitLatency, token: e.token})
 		}
 	case isa.OpStoreGlobal:
@@ -179,7 +209,12 @@ func (u *ldstUnit) tickGlobal(e *ldstEntry, now uint64) {
 	}
 }
 
+//gpulint:hotpath
 func (u *ldstUnit) popHead() {
+	if ln := u.queue[0].lines; ln != nil {
+		//gpulint:allow hotalloc linePool append is bounded by the queue cap — it recycles at most LDSTQueueCap buffers, the opposite of a leak
+		u.linePool = append(u.linePool, ln)
+	}
 	copy(u.queue, u.queue[1:])
 	u.queue = u.queue[:len(u.queue)-1]
 }
