@@ -236,6 +236,13 @@ func (g *GPU) commitRetirements() {
 		if len(list) == 0 {
 			continue
 		}
+		// Detach the list while replaying: no current callback retires a CTA
+		// synchronously, but if one ever does, the onCTADone append must not
+		// land in list's backing array, where the reset below would silently
+		// discard it. Same-core re-entrant retirement is caught by the length
+		// check after the loop; appends for other cores land in their own
+		// (restored) buffers and replay in this or the next cycle's commit.
+		g.pendingRetire[c] = nil
 		for i, cta := range list {
 			g.ctaEvent = true
 			ks := g.kernels[cta.KernelIdx]
@@ -249,6 +256,9 @@ func (g *GPU) commitRetirements() {
 			}
 			g.dispatcher.OnCTAComplete(g, c, cta)
 			list[i] = nil
+		}
+		if len(g.pendingRetire[c]) != 0 {
+			panic("gpu: retirement callback retired a CTA for the same core re-entrantly; commitRetirements cannot replay it this cycle")
 		}
 		g.pendingRetire[c] = list[:0]
 	}

@@ -60,10 +60,17 @@ type worker struct {
 // Run and Close must be called from one goroutine (the cycle loop's owner).
 type Pool struct {
 	fn      func(shard int)
-	epoch   atomic.Uint32 // incremented by release; workers wait on it
+	epoch   atomic.Uint64 // incremented by release; workers wait on it
 	pending atomic.Int32  // workers that have not finished the current Run
-	waiting atomic.Int32  // 1 while the caller is parked on done
-	//gpulint:allow nogoroutine done carries the join signal from the last finisher to a parked caller; the waiting-flag swap guarantees exactly one matched send/receive per Run
+	// waiting holds the epoch of the Run whose caller is parked on done, or 0
+	// when disarmed. Arming with the epoch (not a plain flag) makes the join
+	// handshake generation-aware: a finisher claims the send with
+	// CompareAndSwap(itsRunEpoch, 0), so a stale finisher that was preempted
+	// between its pending decrement and the claim can never win a *later*
+	// run's flag and wake that run's caller early. Epochs are uint64 and
+	// start at 1, so an armed value is never the disarmed sentinel.
+	waiting atomic.Uint64
+	//gpulint:allow nogoroutine done carries the join signal from the last finisher to a parked caller; the epoch-aware waiting CAS guarantees exactly one matched send/receive per Run
 	done    chan struct{}
 	workers []*worker
 	shards  int
@@ -122,12 +129,15 @@ func (p *Pool) Run(fn func(shard int)) {
 			runtime.Gosched()
 		}
 	}
-	// Park until the last finisher signals. Arm the waiting flag, then
-	// re-check: if the stragglers finished between the poll and the arm,
-	// disarming tells us whether a send is already committed (the finisher
-	// swaps the flag before sending, so exactly one side wins it).
-	p.waiting.Store(1)
-	if p.pending.Load() == 0 && p.waiting.Swap(0) == 1 {
+	// Park until the last finisher signals. Arm the waiting flag with this
+	// run's epoch, then re-check: if the stragglers finished between the poll
+	// and the arm, disarming tells us whether a send is already committed
+	// (the finisher CASes the flag to 0 before sending, so exactly one side
+	// wins it — and only a finisher of *this* run can win, because the CAS
+	// compares against the run's epoch).
+	runEpoch := p.epoch.Load()
+	p.waiting.Store(runEpoch)
+	if p.pending.Load() == 0 && p.waiting.CompareAndSwap(runEpoch, 0) {
 		return // finisher never saw the armed flag; no token in flight
 	}
 	//gpulint:allow nogoroutine join edge of the carve-out barrier: consumes the single token the matched finisher sent
@@ -163,7 +173,7 @@ func (p *Pool) release() {
 // loop is one persistent worker: wait for the next epoch (spin, then park),
 // run the installed closure on this worker's shard, and report completion.
 func (p *Pool) loop(w *worker, shard int) {
-	seen := uint32(0)
+	seen := uint64(0)
 	for {
 		for spins := 0; p.epoch.Load() == seen; {
 			spins++
@@ -191,8 +201,12 @@ func (p *Pool) loop(w *worker, shard int) {
 			return
 		}
 		p.fn(shard)
-		if p.pending.Add(-1) == 0 && p.waiting.Swap(0) == 1 {
-			//gpulint:allow nogoroutine last finisher wakes a parked caller; the waiting-flag swap claimed the sole right to send
+		// seen is this run's epoch, so the CAS can only claim the flag of the
+		// run we just finished: if we are preempted here and a later run arms
+		// waiting with a newer epoch, the CAS fails and no spurious token is
+		// sent into that run's join.
+		if p.pending.Add(-1) == 0 && p.waiting.CompareAndSwap(seen, 0) {
+			//gpulint:allow nogoroutine last finisher wakes a parked caller; the epoch-aware waiting CAS claimed the sole right to send
 			p.done <- struct{}{}
 		}
 	}

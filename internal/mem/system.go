@@ -23,13 +23,15 @@ import "gpusched/internal/stats"
 //     sends are interleaved — so the committed state is identical whatever
 //     order (or parallelism) the cores ticked in.
 //
-// The snapshot admits conservatively against the *committed* queue: several
-// cores may each be admitted into the same nearly-full partition queue in
-// one cycle, so a commit may transiently exceed the configured capacity by
-// at most numCores-1 entries (each core stages at most the snapshot's free
-// space). The pipe absorbs the overshoot and CanSend reports the partition
-// full until it drains back under the bound — backpressure is preserved,
-// just assessed once per cycle instead of once per send.
+// The snapshot admits optimistically against the *committed* queue: every
+// core sees the same free space f in a partition and may stage up to f
+// requests there, so a commit can transiently exceed the configured capacity
+// by up to (numCores-1)*f entries — as much as (numCores-1)*capacity when
+// the queue started the cycle empty. The pipe absorbs the overshoot and
+// CanSend reports the partition full until it drains back under the bound —
+// backpressure is preserved (the overfill is bounded and cleared before new
+// admissions), just assessed once per cycle instead of once per send, which
+// admits one cycle's burst more than a per-send check would.
 //
 // Tick order within a cycle is fixed and deterministic: staged requests
 // commit in core-index order, then partitions are visited in index order, so
