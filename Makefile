@@ -40,9 +40,9 @@ ci: lint
 # simcycles/s in one run and 249k in the committed BENCH_3.json for exactly
 # this reason).
 bench:
-	go test -run='^$$' -bench 'Fig5|Fig8' -benchtime=1x -benchmem . | tee /tmp/gpusched_bench.out
+	go test -run='^$$' -bench 'Fig5|Fig8|Fig14' -benchtime=1x -benchmem . | tee /tmp/gpusched_bench.out
 	go test -run='^$$' -bench 'SimulatorThroughput|ParallelTick' -benchtime=20x -benchmem . | tee -a /tmp/gpusched_bench.out
-	go run ./cmd/benchjson -out results/BENCH_5.json < /tmp/gpusched_bench.out
+	go run ./cmd/benchjson -out results/BENCH_6.json < /tmp/gpusched_bench.out
 
 # One benchmark per reproduced table/figure plus microbenchmarks.
 bench-all:

@@ -86,6 +86,7 @@ func BenchmarkFig10MCKE(b *testing.B)             { runExperiment(b, "fig10", 4,
 func BenchmarkFig11Sensitivity(b *testing.B)      { runExperiment(b, "fig11", -1, "") }
 func BenchmarkFig12WarpSched(b *testing.B)        { runExperiment(b, "fig12", 3, "geomean-speedup") }
 func BenchmarkFig13PriorWork(b *testing.B)        { runExperiment(b, "fig13", 3, "geomean-speedup") }
+func BenchmarkFig14Preemption(b *testing.B)       { runExperiment(b, "fig14", -1, "") }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed — simulated
 // cycles per wall second — on the two shapes that bracket the simulator's

@@ -24,9 +24,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ctasweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sizeStr = fs.String("size", "small", "problem size: tiny | small | full")
-		warpStr = fs.String("warp", "gto", "warp scheduler: lrr | gto | baws")
-		cores   = fs.Int("cores", 15, "SM count")
+		sizeStr  = fs.String("size", "small", "problem size: tiny | small | full")
+		warpStr  = fs.String("warp", "gto", "warp scheduler: lrr | gto | baws")
+		cores    = fs.Int("cores", 15, "SM count")
+		schedStr = fs.String("sched", "", "also run each workload under this scheduler and report it against the sweep ("+gpusched.SchedulerFlagHelp+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,6 +50,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	var overlay *gpusched.Scheduler
+	if *schedStr != "" {
+		s, err := gpusched.ParseScheduler(*schedStr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		overlay = &s
 	}
 
 	for _, name := range names {
@@ -87,8 +97,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		lastIPC := pts[len(pts)-1].ipc
-		fmt.Fprintf(stdout, "  best: %d CTAs/SM at IPC %.2f (%.1f%% over max occupancy)\n\n",
+		fmt.Fprintf(stdout, "  best: %d CTAs/SM at IPC %.2f (%.1f%% over max occupancy)\n",
 			best.lim, best.ipc, (best.ipc/lastIPC-1)*100)
+		if overlay != nil {
+			res, err := gpusched.Run(cfg, *overlay, w.Kernel(size))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "  %s: IPC %.2f in %d cycles (%.1f%% of sweep best)\n",
+				overlay.Name(), res.IPC, res.Cycles, res.IPC/best.ipc*100)
+		}
+		fmt.Fprintln(stdout)
 	}
 	return 0
 }

@@ -25,7 +25,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		workload = fs.String("workload", "vadd", "workload name (see -list)")
-		schedStr = fs.String("sched", "baseline", "CTA scheduler: baseline | lcs | adaptive | bcs[:N] | static:N | sequential")
+		schedStr = fs.String("sched", "baseline", "CTA scheduler: "+gpusched.SchedulerFlagHelp)
 		warpStr  = fs.String("warp", "gto", "warp scheduler: lrr | gto | baws")
 		sizeStr  = fs.String("size", "small", "problem size: tiny | small | full")
 		cores    = fs.Int("cores", 15, "SM count")

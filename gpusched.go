@@ -171,13 +171,18 @@ func (c Config) build() gpu.Config {
 // Scheduler is a CTA scheduling policy plus its parameters — a thin facade
 // over the typed internal/sim scheduler registry. Construct with Baseline,
 // LCS, AdaptiveLCS, DynCTA, BCS, StaticLimit, Sequential, SpatialCKE,
-// MixedCKE, or ParseScheduler.
+// MixedCKE, Preemptive, or ParseScheduler.
 type Scheduler struct {
 	spec sim.SchedSpec
 }
 
 // Name returns the policy's short identifier.
 func (s Scheduler) Name() string { return s.spec.Name() }
+
+// SchedulerFlagHelp is the one-line grammar of ParseScheduler, for CLI flag
+// help text. It tracks the internal scheduler registry, so a new policy shows
+// up in every tool's -sched help without editing each command.
+const SchedulerFlagHelp = sim.SchedFlagHelp
 
 // ParseScheduler parses the scheduler DSL ("lcs", "bcs:4", "static:3", ...)
 // shared by every CLI tool. See internal/sim for the grammar.
@@ -221,6 +226,15 @@ func SpatialCKE(coresForFirst int) Scheduler { return Scheduler{spec: sim.Spatia
 // limitA CTAs per core (normally an LCS/AdaptiveLCS decision).
 func MixedCKE(limitA int) Scheduler { return Scheduler{spec: sim.Mixed(limitA)} }
 
+// Preemptive drains batch CTAs at CTA boundaries to serve the
+// latency-sensitive kernel at launch-table index priorityKernel (0 selects
+// the default, kernel 1). deadlineCycles > 0 makes preemption conditional:
+// batch work is only evicted while the online runtime predictor says the
+// priority kernel will miss that absolute deadline; 0 preempts eagerly.
+func Preemptive(priorityKernel, deadlineCycles int) Scheduler {
+	return Scheduler{spec: sim.Preemptive(priorityKernel, deadlineCycles)}
+}
+
 // KernelStats describes one kernel's outcome.
 type KernelStats struct {
 	Name        string
@@ -228,6 +242,8 @@ type KernelStats struct {
 	DoneCycle   uint64
 	InstrIssued uint64
 	CTAs        int
+	// Evicted counts drain-preemption evictions of the kernel's CTAs.
+	Evicted int
 }
 
 // Result is the outcome of one simulation.
@@ -317,6 +333,7 @@ func resultFrom(raw gpu.Result, sched Scheduler, d core.Dispatcher) Result {
 			DoneCycle:   k.DoneCycle,
 			InstrIssued: k.InstrIssued,
 			CTAs:        k.CTAs,
+			Evicted:     k.Evicted,
 		})
 	}
 	if limits, ok := sched.spec.Limits(d); ok {

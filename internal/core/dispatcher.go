@@ -33,23 +33,50 @@ type KernelState struct {
 	AddrBase uint64
 	// NextCTA is the next undispatched linear CTA id.
 	NextCTA int
+	// Placed counts CTA placements, including re-dispatches of evicted
+	// CTAs (which pop the requeue without advancing NextCTA). The cycle
+	// loop's idle detection diffs it.
+	Placed int
 	// Completed counts retired CTAs.
 	Completed int
+	// Evicted counts drain-preemption evictions of this kernel's CTAs.
+	Evicted int
 	// LaunchCycle is when dispatch began; DoneCycle when the last CTA
 	// retired.
 	LaunchCycle uint64
 	DoneCycle   uint64
 	launched    bool
+	// requeued holds evicted-but-unfinished CTA ids awaiting re-dispatch,
+	// FIFO. Only the GPU's phase-B preemption commit appends (in core-index
+	// order within a cycle) and only place pops, so the re-dispatch order is
+	// deterministically keyed by (eviction cycle, core index).
+	requeued []int
 }
 
-// Exhausted reports whether every CTA has been dispatched.
-func (k *KernelState) Exhausted() bool { return k.NextCTA >= k.Spec.NumCTAs() }
+// Requeue appends an evicted CTA id for re-dispatch. Called by the GPU's
+// serial preemption commit, never from phase-A worker goroutines.
+func (k *KernelState) Requeue(ctaID int) {
+	k.requeued = append(k.requeued, ctaID)
+	k.Evicted++
+}
+
+// PendingRequeue returns how many evicted CTAs await re-dispatch.
+func (k *KernelState) PendingRequeue() int { return len(k.requeued) }
+
+// Exhausted reports whether every CTA has been dispatched and no evicted
+// CTA awaits re-dispatch.
+func (k *KernelState) Exhausted() bool {
+	return k.NextCTA >= k.Spec.NumCTAs() && len(k.requeued) == 0
+}
 
 // Done reports whether every CTA has retired.
 func (k *KernelState) Done() bool { return k.Completed >= k.Spec.NumCTAs() }
 
-// Remaining returns the number of undispatched CTAs.
-func (k *KernelState) Remaining() int { return k.Spec.NumCTAs() - k.NextCTA }
+// Remaining returns the number of CTAs still to dispatch (undispatched plus
+// evicted awaiting re-dispatch).
+func (k *KernelState) Remaining() int {
+	return k.Spec.NumCTAs() - k.NextCTA + len(k.requeued)
+}
 
 // Machine is the view a Dispatcher has of the GPU.
 type Machine interface {
@@ -61,6 +88,13 @@ type Machine interface {
 	Core(i int) *sm.SM
 	// Kernels returns the launch table in launch order.
 	Kernels() []*KernelState
+	// Preempt asks core coreID to drain cta at the next CTA boundary. It
+	// returns false when the CTA is no longer resident and running (e.g. a
+	// natural completion raced the request). The eviction completes
+	// asynchronously: once the CTA's in-flight memory work finishes it
+	// leaves the core, its id joins the kernel's re-dispatch queue, and a
+	// dispatcher implementing PreemptionObserver is notified.
+	Preempt(coreID int, cta *sm.CTA) bool
 }
 
 // Dispatcher is a CTA scheduling policy.
@@ -72,6 +106,14 @@ type Dispatcher interface {
 	// OnCTAComplete is called when a CTA retires, after the owning
 	// KernelState counters were updated.
 	OnCTAComplete(m Machine, coreID int, cta *sm.CTA)
+}
+
+// PreemptionObserver is the optional Dispatcher extension notified when a
+// drain eviction commits (serially, in core-index order within a cycle —
+// the same discipline as OnCTAComplete). The evicted CTA's id has already
+// joined its kernel's re-dispatch queue when the observer runs.
+type PreemptionObserver interface {
+	OnCTAEvicted(m Machine, coreID int, cta *sm.CTA)
 }
 
 // NeverEvent is the FastForwarder bound meaning "no time-driven work: only a
@@ -92,13 +134,23 @@ type FastForwarder interface {
 }
 
 // place dispatches kernel ks's next CTA onto core c with the given BCS gang
-// identity, stamping launch bookkeeping.
+// identity, stamping launch bookkeeping. Evicted CTAs re-dispatch first
+// (FIFO from the requeue) so preempted work resumes before fresh CTAs start;
+// every dispatcher therefore re-dispatches transparently.
 func place(m Machine, ks *KernelState, c *sm.SM, blockKey uint64, indexInBlock int) *sm.CTA {
 	if !ks.launched {
 		ks.launched = true
 		ks.LaunchCycle = m.Now()
 	}
-	cta := c.AddCTA(ks.Spec, ks.Idx, ks.NextCTA, ks.AddrBase, blockKey, indexInBlock, m.Now())
-	ks.NextCTA++
+	id := ks.NextCTA
+	if len(ks.requeued) > 0 {
+		id = ks.requeued[0]
+		copy(ks.requeued, ks.requeued[1:])
+		ks.requeued = ks.requeued[:len(ks.requeued)-1]
+	} else {
+		ks.NextCTA++
+	}
+	ks.Placed++
+	cta := c.AddCTA(ks.Spec, ks.Idx, id, ks.AddrBase, blockKey, indexInBlock, m.Now())
 	return cta
 }

@@ -1,0 +1,96 @@
+package core
+
+import "gpusched/internal/sm"
+
+// Predictor is the online structural runtime model the preemptive dispatcher
+// steers by (after Pai et al.'s CTA-boundary preemption work): instead of a
+// profile pass, it builds a per-kernel cost model from counters the machine
+// already maintains for the LCS probe. Per kernel it tracks
+//
+//   - the mean instruction cost of a CTA, from the per-CTA Issued counters
+//     of naturally completed CTAs (evicted CTAs are excluded — their partial
+//     counts would bias the cost down), and
+//   - the kernel's current issue rate, from the per-core KernelIssued
+//     aggregates sampled once per control epoch.
+//
+// Predicted completion is then now + remainingCTAs·ctaCost/rate. The model
+// deliberately ignores partial progress of resident CTAs — a conservative
+// (late-leaning) simplification that costs at most one extra preemption
+// check, never a missed one.
+type Predictor struct {
+	// ctaCostSum/ctaDone accumulate completed-CTA issue counts per kernel.
+	ctaCostSum []uint64
+	ctaDone    []int
+	// lastIssued is the per-kernel aggregate issue count at the last sample;
+	// windowIssued/windowCycles hold the most recent completed window.
+	lastIssued   []uint64
+	windowIssued []uint64
+	windowCycles uint64
+	lastSample   uint64
+	sampled      bool
+}
+
+func (p *Predictor) ensure(n int) {
+	if len(p.ctaCostSum) >= n {
+		return
+	}
+	p.ctaCostSum = make([]uint64, n)
+	p.ctaDone = make([]int, n)
+	p.lastIssued = make([]uint64, n)
+	p.windowIssued = make([]uint64, n)
+}
+
+// Sample closes the current rate window at cycle now. Call once per control
+// epoch, from the dispatcher's serial Tick.
+func (p *Predictor) Sample(m Machine, now uint64) {
+	kernels := m.Kernels()
+	p.ensure(len(kernels))
+	for k := range kernels {
+		var total uint64
+		for i := 0; i < m.NumCores(); i++ {
+			total += m.Core(i).KernelIssued[k]
+		}
+		if p.sampled {
+			p.windowIssued[k] = total - p.lastIssued[k]
+		}
+		p.lastIssued[k] = total
+	}
+	if p.sampled {
+		p.windowCycles = now - p.lastSample
+	}
+	p.lastSample = now
+	p.sampled = true
+}
+
+// OnCTAComplete folds a naturally completed CTA into the cost model.
+func (p *Predictor) OnCTAComplete(m Machine, cta *sm.CTA) {
+	p.ensure(len(m.Kernels()))
+	if cta.KernelIdx < 0 || cta.KernelIdx >= len(p.ctaCostSum) {
+		return
+	}
+	p.ctaCostSum[cta.KernelIdx] += cta.Issued
+	p.ctaDone[cta.KernelIdx]++
+}
+
+// PredictedDone estimates the cycle kernel k finishes. ok is false while the
+// model lacks data: no completed CTA yet (unknown cost) or a zero-issue last
+// window (unknown — possibly infinite — rate); a starved kernel is therefore
+// "unpredictable", which callers should treat as a deadline violation.
+func (p *Predictor) PredictedDone(m Machine, k int, now uint64) (uint64, bool) {
+	kernels := m.Kernels()
+	p.ensure(len(kernels))
+	if k < 0 || k >= len(kernels) {
+		return 0, false
+	}
+	ks := kernels[k]
+	remaining := ks.Spec.NumCTAs() - ks.Completed
+	if remaining <= 0 {
+		return now, true
+	}
+	if p.ctaDone[k] == 0 || p.windowCycles == 0 || p.windowIssued[k] == 0 {
+		return 0, false
+	}
+	cost := float64(p.ctaCostSum[k]) / float64(p.ctaDone[k])
+	rate := float64(p.windowIssued[k]) / float64(p.windowCycles)
+	return now + uint64(cost*float64(remaining)/rate), true
+}

@@ -131,6 +131,9 @@ type GPU struct {
 	// the placement and issue counters it decides whether the cycle was
 	// idle and the loop may consult the event horizon.
 	ctaEvent bool
+	// arrived is how many launch-table kernels have reached their Arrival
+	// cycle; Kernels() exposes exactly that prefix to dispatchers.
+	arrived int
 	// pendingRetire[c] collects core c's CTA retirements during phase A of
 	// a cycle. A core's SM appends only to its own list (so cores may tick
 	// concurrently); commitRetirements replays every list serially in
@@ -138,6 +141,13 @@ type GPU struct {
 	// the observer, and the kernel bookkeeping see retirements in one fixed
 	// order whatever the phase-A interleaving was.
 	pendingRetire [][]*sm.CTA
+	// pendingPreempt[c] collects core c's drain evictions during phase A,
+	// mirroring pendingRetire: the SM appends only to its own list, and
+	// commitPreemptions replays every list serially in core-index order
+	// right after commitRetirements. Re-dispatch order after eviction is
+	// therefore a deterministic FIFO keyed by (eviction cycle, core index)
+	// whatever the phase-A worker interleaving was.
+	pendingPreempt [][]*sm.CTA
 	// ffNextTry/ffBackoff throttle horizon probes. Probing costs real work
 	// (every scheduler and memory queue is consulted), so an attempt that
 	// finds nothing to skip doubles the wait before the next attempt; a
@@ -167,6 +177,12 @@ func New(cfg Config, d core.Dispatcher, specs ...*kernel.Spec) (*GPU, error) {
 		if n, binding := cfg.Core.Limits.MaxResident(spec); n == 0 {
 			return nil, fmt.Errorf("gpu: kernel %s does not fit one SM (%s)", spec.Name, binding)
 		}
+		if i > 0 && spec.Arrival < specs[i-1].Arrival {
+			// Arrived kernels are always a prefix of the launch table, so
+			// dispatchers can keep indexing kernels by launch position.
+			return nil, fmt.Errorf("gpu: kernel %s arrives at %d, before its predecessor (%d); arrivals must be nondecreasing in launch order",
+				spec.Name, spec.Arrival, specs[i-1].Arrival)
+		}
 		g.kernels = append(g.kernels, &core.KernelState{
 			Spec:     spec,
 			Idx:      i,
@@ -175,11 +191,13 @@ func New(cfg Config, d core.Dispatcher, specs ...*kernel.Spec) (*GPU, error) {
 	}
 	g.memsys = mem.NewSystem(&cfg.Mem, cfg.NumCores)
 	g.pendingRetire = make([][]*sm.CTA, cfg.NumCores)
+	g.pendingPreempt = make([][]*sm.CTA, cfg.NumCores)
 	g.cores = make([]*sm.SM, cfg.NumCores)
 	g.coreCfgs = make([]sm.Config, cfg.NumCores)
 	for i := range g.cores {
 		g.coreCfgs[i] = cfg.Core // per-SM copy: SetWarpPolicy is per core
 		g.cores[i] = sm.New(i, &g.coreCfgs[i], g.memsys, len(specs), g.onCTADone)
+		g.cores[i].SetDrainHandler(g.onCTADrained)
 	}
 	return g, nil
 }
@@ -213,8 +231,34 @@ func (g *GPU) NumCores() int { return len(g.cores) }
 // Core implements core.Machine.
 func (g *GPU) Core(i int) *sm.SM { return g.cores[i] }
 
-// Kernels implements core.Machine.
-func (g *GPU) Kernels() []*core.KernelState { return g.kernels }
+// Kernels implements core.Machine. It returns only the kernels that have
+// arrived: g.kernels holds the full launch table, and because arrivals are
+// validated nondecreasing the arrived set is always a prefix, so the slice
+// header is the whole gate — no per-call allocation, and launch-position
+// indexing stays valid for dispatchers.
+func (g *GPU) Kernels() []*core.KernelState { return g.kernels[:g.arrived] }
+
+// admitArrivals moves newly arrived kernels into the dispatchers' view of
+// the launch table. An admission changes dispatch state, so the cycle is
+// marked non-idle (fast-forward additionally clamps its horizon to the next
+// pending arrival, so no admission cycle is ever skipped).
+func (g *GPU) admitArrivals() {
+	for g.arrived < len(g.kernels) && g.kernels[g.arrived].Spec.Arrival <= g.now {
+		g.arrived++
+		g.ctaEvent = true
+	}
+}
+
+// Preempt implements core.Machine: it asks core coreID to drain cta for
+// preemption. The request is accepted only for a resident, running CTA (a
+// natural completion that raced the request loses it harmlessly). The
+// eviction itself lands later, through the phase-B preemption commit.
+func (g *GPU) Preempt(coreID int, cta *sm.CTA) bool {
+	if coreID < 0 || coreID >= len(g.cores) {
+		return false
+	}
+	return g.cores[coreID].DrainCTA(cta)
+}
 
 // onCTADone is the SMs' retirement callback. It may run on a phase-A worker
 // goroutine, so it only records the event in the retiring core's private
@@ -222,6 +266,12 @@ func (g *GPU) Kernels() []*core.KernelState { return g.kernels }
 // commitRetirements, serially.
 func (g *GPU) onCTADone(coreID int, cta *sm.CTA) {
 	g.pendingRetire[coreID] = append(g.pendingRetire[coreID], cta)
+}
+
+// onCTADrained is the SMs' drain-eviction callback — same phase-A discipline
+// as onCTADone: record in the core's private list, commit serially later.
+func (g *GPU) onCTADrained(coreID int, cta *sm.CTA) {
+	g.pendingPreempt[coreID] = append(g.pendingPreempt[coreID], cta)
 }
 
 // commitRetirements replays the cycle's CTA retirements strictly in
@@ -261,6 +311,39 @@ func (g *GPU) commitRetirements() {
 			panic("gpu: retirement callback retired a CTA for the same core re-entrantly; commitRetirements cannot replay it this cycle")
 		}
 		g.pendingRetire[c] = list[:0]
+	}
+}
+
+// commitPreemptions replays the cycle's drain evictions strictly in
+// core-index order (and, within a core, eviction order), after retirements
+// and before the memory system ticks: the evicted CTA id joins its kernel's
+// re-dispatch queue, per-kernel eviction counters advance, and a dispatcher
+// implementing PreemptionObserver is notified. Because this is the only
+// place evictions touch shared state, the requeue order is a pure function
+// of (eviction cycle, core index) — independent of phase-A interleaving.
+func (g *GPU) commitPreemptions() {
+	po, _ := g.dispatcher.(core.PreemptionObserver)
+	for c := range g.pendingPreempt {
+		list := g.pendingPreempt[c]
+		if len(list) == 0 {
+			continue
+		}
+		g.pendingPreempt[c] = nil
+		for i, cta := range list {
+			// An eviction changes dispatch state (capacity freed, requeue
+			// grown), so the cycle is never idle for fast-forward purposes.
+			g.ctaEvent = true
+			ks := g.kernels[cta.KernelIdx]
+			ks.Requeue(cta.ID)
+			if po != nil {
+				po.OnCTAEvicted(g, c, cta)
+			}
+			list[i] = nil
+		}
+		if len(g.pendingPreempt[c]) != 0 {
+			panic("gpu: eviction callback drained a CTA for the same core re-entrantly; commitPreemptions cannot replay it this cycle")
+		}
+		g.pendingPreempt[c] = list[:0]
 	}
 }
 
@@ -340,6 +423,7 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 		dispatched := g.dispatchedCTAs()
 		issued := g.issuedTotal()
 		g.ctaEvent = false
+		g.admitArrivals()
 		g.dispatcher.Tick(g)
 		if pool != nil {
 			pool.Run(tickShard)
@@ -349,6 +433,7 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 			}
 		}
 		g.commitRetirements()
+		g.commitPreemptions()
 		g.memsys.Tick(g.now)
 		idle := ff != nil && !g.ctaEvent &&
 			g.dispatchedCTAs() == dispatched && g.issuedTotal() == issued
@@ -367,12 +452,14 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	return g.collect(), nil
 }
 
-// dispatchedCTAs sums dispatched-CTA counts over the launch table; a delta
-// across a cycle means the dispatcher placed work.
+// dispatchedCTAs sums placement counts over the launch table; a delta
+// across a cycle means the dispatcher placed work. Placed (not NextCTA)
+// also counts re-dispatches of evicted CTAs, which pop the requeue without
+// advancing NextCTA.
 func (g *GPU) dispatchedCTAs() int {
 	n := 0
 	for _, ks := range g.kernels {
-		n += ks.NextCTA
+		n += ks.Placed
 	}
 	return n
 }
@@ -415,6 +502,13 @@ func max2(a, b uint64) uint64 {
 func (g *GPU) fastForward(ff core.FastForwarder, clampCtx bool, maxCycles uint64) uint64 {
 	from := g.now
 	horizon := ff.NextDispatchEvent(from)
+	if g.arrived < len(g.kernels) {
+		// A pending kernel arrival changes dispatch state; its cycle must
+		// execute, not be skipped.
+		if a := g.kernels[g.arrived].Spec.Arrival; a < horizon {
+			horizon = a
+		}
+	}
 	if ev := g.memsys.NextEvent(from); ev < horizon {
 		horizon = ev
 	}
@@ -475,7 +569,9 @@ func (g *GPU) collect() Result {
 		r.Core.StallScoreboard += s.StallScoreboard
 		r.Core.StallLDSTFull += s.StallLDSTFull
 		r.Core.StallBarrier += s.StallBarrier
+		r.Core.StallDrain += s.StallDrain
 		r.Core.CTAsCompleted += s.CTAsCompleted
+		r.Core.CTAsDrained += s.CTAsDrained
 		r.Core.SharedAccesses += s.SharedAccesses
 		r.Core.SharedConflictPasses += s.SharedConflictPasses
 		r.L1.Add(c.L1Stats())
@@ -497,6 +593,7 @@ func (g *GPU) collect() Result {
 			LaunchCycle: ks.LaunchCycle,
 			DoneCycle:   ks.DoneCycle,
 			CTAs:        ks.Spec.NumCTAs(),
+			Evicted:     ks.Evicted,
 		}
 		for _, c := range g.cores {
 			k.InstrIssued += c.KernelIssued[ks.Idx]

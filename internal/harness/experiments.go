@@ -673,3 +673,139 @@ func (h *Harness) Fig13PriorWork() (*Table, error) {
 		fmt.Sprintf("%.3f", stats.GeoMean(ad))})
 	return t, r.err
 }
+
+// fig14Mixes pair a batch kernel (launched first, kernel 0) with a
+// latency-sensitive kernel that arrives while the batch owns every SM. The
+// batch partners span the occupancy spectrum — compute-bound (dct8x8),
+// cache-sensitive (stencil), and streaming (vadd) — because the batch
+// kernel's profile decides how much capacity an occupancy cap (MCKE) can
+// donate: a compute-bound batch keeps a high optimal CTA count, so only
+// eviction frees slots for the late kernel.
+var fig14Mixes = [][2]string{
+	{"sgemm", "dct8x8"},
+	{"stencil", "blackscholes"},
+	{"vadd", "kmeans"},
+}
+
+// fig14ArrivalFrac places the priority kernel's arrival this far into the
+// batch kernel's solo makespan: late enough that the machine is saturated,
+// early enough that plenty of batch work remains.
+const fig14ArrivalFrac = 4 // arrival = batch solo cycles / 4
+
+// Fig14Preemption evaluates drain/switch CTA preemption on two-kernel
+// priority mixes: a batch kernel saturates the GPU, a latency-sensitive
+// kernel arrives a quarter into its makespan, and the schedulers differ in
+// how the newcomer gets on. Turnarounds are normalized per kernel against
+// its solo run (NT = T_shared/T_alone, lower is better); ANTT averages them
+// and STP sums their reciprocals (higher is better). The preemptive rows
+// also report how many batch CTAs were evicted — each is redone work.
+func (h *Harness) Fig14Preemption() (*Table, error) {
+	r := h.resolve()
+	// Solo runs anchor everything: T_alone for both kernels, the batch
+	// makespan that fixes the arrival cycle, and the adaptive-LCS profile
+	// that sizes the MCKE limit (the Fig10 recipe).
+	var solo []sim.Request
+	for _, mix := range fig14Mixes {
+		solo = append(solo,
+			h.single(mix[0], sim.Baseline(), sm.PolicyGTO),
+			h.single(mix[1], sim.Baseline(), sm.PolicyGTO),
+			h.single(mix[0], sim.AdaptiveLCS(), sm.PolicyGTO))
+	}
+	r.warm(solo)
+	type plan struct {
+		pair     []string
+		arrivals []uint64
+		arrival  uint64
+		aloneB   uint64 // batch solo makespan
+		aloneP   uint64 // priority solo makespan
+		lim      int    // MCKE cap for the batch kernel
+		deadline int    // absolute completion deadline for the priority kernel
+		scheds   []sim.SchedSpec
+	}
+	var plans []plan
+	var shared []sim.Request
+	for _, mix := range fig14Mixes {
+		aloneB := r.get(h.single(mix[0], sim.Baseline(), sm.PolicyGTO)).Result.Cycles
+		aloneP := r.get(h.single(mix[1], sim.Baseline(), sm.PolicyGTO)).Result.Cycles
+		lim := lowQuartile(r.get(h.single(mix[0], sim.AdaptiveLCS(), sm.PolicyGTO)).Limits)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if lim < 1 {
+			lim = 1
+		}
+		arrival := aloneB / fig14ArrivalFrac
+		p := plan{
+			pair:     []string{mix[0], mix[1]},
+			arrivals: []uint64{0, arrival},
+			arrival:  arrival,
+			aloneB:   aloneB,
+			aloneP:   aloneP,
+			lim:      lim,
+			// The deadline grants the priority kernel twice its solo
+			// makespan after arrival; the predictor only preempts while it
+			// forecasts a miss.
+			deadline: int(arrival + 2*aloneP),
+		}
+		p.scheds = []sim.SchedSpec{
+			sim.Baseline(),
+			sim.Mixed(p.lim),
+			sim.Preemptive(1, 0),
+			sim.Preemptive(1, p.deadline),
+		}
+		for _, s := range p.scheds {
+			req := h.multi(p.pair, s, sm.PolicyGTO)
+			req.Arrivals = p.arrivals
+			shared = append(shared, req)
+		}
+		plans = append(plans, p)
+	}
+	r.warm(shared)
+	t := &Table{
+		ID: "fig14", Title: "Drain preemption on priority mixes: normalized turnaround (lower is better), STP (higher is better)",
+		Headers: []string{"mix", "sched", "NT(batch)", "NT(prio)", "ANTT", "STP", "evicted"},
+	}
+	labels := []string{"rr", "mcke", "preempt", "preempt:dl"}
+	sums := make(map[string][]float64) // label -> ANTT then STP samples interleaved via two slices
+	ntPrio := make(map[string][]float64)
+	for _, p := range plans {
+		for i, s := range p.scheds {
+			req := h.multi(p.pair, s, sm.PolicyGTO)
+			req.Arrivals = p.arrivals
+			res := r.get(req).Result
+			if r.err != nil {
+				return nil, r.err
+			}
+			// Turnaround runs from the kernel's arrival to its last CTA.
+			ntB := stats.NormalizedTurnaround(p.aloneB, res.Kernels[0].DoneCycle)
+			ntP := stats.NormalizedTurnaround(p.aloneP, res.Kernels[1].DoneCycle-p.arrival)
+			nts := []float64{ntB, ntP}
+			t.Rows = append(t.Rows, []string{
+				p.pair[0] + "+" + p.pair[1], labels[i],
+				fmt.Sprintf("%.3f", ntB), fmt.Sprintf("%.3f", ntP),
+				fmt.Sprintf("%.3f", stats.ANTT(nts)),
+				fmt.Sprintf("%.3f", stats.STP(nts)),
+				fmt.Sprint(res.Kernels[0].Evicted),
+			})
+			sums[labels[i]] = append(sums[labels[i]], stats.ANTT(nts), stats.STP(nts))
+			ntPrio[labels[i]] = append(ntPrio[labels[i]], ntP)
+		}
+	}
+	for _, l := range labels {
+		vs := sums[l]
+		var antt, stp float64
+		for i := 0; i < len(vs); i += 2 {
+			antt += vs[i]
+			stp += vs[i+1]
+		}
+		n := float64(len(vs) / 2)
+		var pm float64
+		for _, v := range ntPrio[l] {
+			pm += v
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: mean ANTT %.3f, mean STP %.3f, mean NT(prio) %.3f",
+			l, antt/n, stp/n, pm/float64(len(ntPrio[l]))))
+	}
+	return t, r.err
+}

@@ -45,8 +45,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -25,6 +25,7 @@ func Experiments() []Experiment {
 		{"fig11", "sensitivity: gang width, L1 capacity", (*Harness).Fig11Sensitivity},
 		{"fig12", "warp-scheduler interaction", (*Harness).Fig12WarpSched},
 		{"fig13", "throttling vs DYNCTA prior work", (*Harness).Fig13PriorWork},
+		{"fig14", "drain preemption: priority mixes, ANTT/STP", (*Harness).Fig14Preemption},
 	}
 }
 

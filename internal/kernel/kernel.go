@@ -70,6 +70,13 @@ type Spec struct {
 	RegsPerThread int
 	// SharedMemPerCTA is the scratchpad demand per CTA in bytes.
 	SharedMemPerCTA int
+	// Arrival is the cycle at which the kernel becomes eligible for
+	// dispatch: the GPU front-end keeps it out of the dispatchers' launch
+	// table until then. Zero (the default) means available at machine
+	// launch. Late arrivals are how preemption scenarios are built — a
+	// latency-sensitive kernel arriving while a batch kernel already owns
+	// every SM.
+	Arrival uint64
 	// Program builds per-warp instruction streams.
 	Program ProgramFactory
 }

@@ -193,6 +193,38 @@ func TestSyncSimulate(t *testing.T) {
 	}
 }
 
+// TestPreemptiveJobEndToEnd submits a priority/deadline job through the
+// async API: the convenience fields fold into the preemptive sched spec (and
+// its cache key), the late arrival sets up the contention, and the job runs
+// to completion.
+func TestPreemptiveJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	body := `{"workloads":["spmv","vadd"],"arrivals":[0,500],"scale":"tiny","cores":4,` +
+		`"sched":"preemptive","priority_kernel":1,"deadline_cycles":200000}`
+	j := submitJob(t, ts.URL, body)
+	if !strings.Contains(j.Key, "preemptive:1:200000") {
+		t.Fatalf("job key %q does not carry the preemptive spec", j.Key)
+	}
+	if !strings.Contains(j.Key, "arr=0+500") {
+		t.Fatalf("job key %q does not carry the arrivals", j.Key)
+	}
+	got := pollJob(t, ts.URL, j.ID)
+	if got.State != StateDone {
+		t.Fatalf("job finished %q (%s), want done", got.State, got.Error)
+	}
+	if got.Outcome == nil || got.Outcome.Result.Cycles == 0 {
+		t.Fatalf("done job has no outcome: %+v", got)
+	}
+
+	// The convenience fields without the preemptive scheduler are a
+	// validation error, not a silent drop.
+	code, data, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		`{"workloads":["vadd"],"scale":"tiny","cores":4,"priority_kernel":1}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("priority_kernel without preemptive sched = %d: %s", code, data)
+	}
+}
+
 // TestErrorShapes pins the structured error envelope: validation failures
 // are 400 with code "validation", unknown jobs are 404, simulation
 // failures on the sync path are 500 with code "simulation".

@@ -17,16 +17,20 @@ import (
 // analyzer enforces statically; the fuzzer enforces it dynamically (it is
 // what caught the wire form silently dropping NoFastForward).
 func FuzzRequestJSON(f *testing.F) {
-	f.Add("vadd", uint8(0), 0, uint8(0), uint8(0), 0, 0, false, uint64(0), false)
-	f.Add("spmv", uint8(4), 2, uint8(2), uint8(1), 8, 16<<10, true, uint64(5000), true)
-	f.Add("", uint8(5), -3, uint8(3), uint8(2), -1, -7, false, uint64(1)<<40, true)
-	f.Fuzz(func(t *testing.T, name string, kind uint8, arg int, warp, scale uint8, cores, l1 int, fcfs bool, maxCycles uint64, noFF bool) {
+	f.Add("vadd", uint8(0), 0, 0, uint8(0), uint8(0), 0, 0, false, uint64(0), false, uint64(0))
+	f.Add("spmv", uint8(4), 2, 0, uint8(2), uint8(1), 8, 16<<10, true, uint64(5000), true, uint64(0))
+	f.Add("", uint8(5), -3, 9, uint8(3), uint8(2), -1, -7, false, uint64(1)<<40, true, uint64(12345))
+	f.Add("dct8x8", uint8(9), 1, 60000, uint8(1), uint8(1), 0, 0, false, uint64(0), false, uint64(4096))
+	f.Fuzz(func(t *testing.T, name string, kind uint8, arg, arg2 int, warp, scale uint8, cores, l1 int, fcfs bool, maxCycles uint64, noFF bool, arrival uint64) {
 		// Clamp to the constructible domain: policy args and size overrides
 		// are non-negative, enum fields take their declared values, and
 		// workload names must survive json.Marshal's UTF-8 sanitization
 		// unchanged (an invalid name is a Validate failure, not a wire bug).
 		if arg < 0 {
 			arg = 0
+		}
+		if arg2 < 0 {
+			arg2 = 0
 		}
 		if cores < 0 {
 			cores = 0
@@ -37,7 +41,8 @@ func FuzzRequestJSON(f *testing.F) {
 		name = strings.ToValidUTF8(name, "")
 		req := sim.Request{
 			Workloads:     []string{name},
-			Sched:         sim.SchedSpec{Kind: sim.SchedKind(kind % 9), Arg: arg},
+			Arrivals:      []uint64{arrival},
+			Sched:         sim.SchedSpec{Kind: sim.SchedKind(kind % 10), Arg: arg, Arg2: arg2},
 			Warp:          sm.Policy(warp % 4),
 			Scale:         workloads.Scale(scale % 3),
 			Cores:         cores,

@@ -11,6 +11,7 @@ import (
 // like a gpusim invocation and round-trips through the one parser.
 type requestJSON struct {
 	Workloads     []string `json:"workloads"`
+	Arrivals      []uint64 `json:"arrivals,omitempty"`
 	Sched         string   `json:"sched,omitempty"`
 	Warp          string   `json:"warp,omitempty"`
 	Scale         string   `json:"scale,omitempty"`
@@ -19,6 +20,26 @@ type requestJSON struct {
 	DRAMSchedFCFS bool     `json:"dram_fcfs,omitempty"`
 	MaxCycles     uint64   `json:"max_cycles,omitempty"`
 	NoFastForward bool     `json:"no_fast_forward,omitempty"`
+	// PriorityKernel and DeadlineCycles are accepted on input as a
+	// convenience spelling of the preemptive scheduler's parameters, for
+	// clients that submit priority/deadline jobs without assembling the
+	// "preemptive:P:D" string themselves. They fold into Sched on
+	// unmarshal and are never emitted: the canonical sched string is the
+	// one wire form (and the one cache-key rendering).
+	PriorityKernel *int `json:"priority_kernel,omitempty"`
+	DeadlineCycles *int `json:"deadline_cycles,omitempty"`
+}
+
+// normalizeArrivals maps all-zero arrival lists to nil so that the
+// semantically-equal spellings (no arrivals vs. explicit zeros) share one
+// wire form and one cache key, matching Request.Key's treatment.
+func normalizeArrivals(arr []uint64) []uint64 {
+	for _, a := range arr {
+		if a != 0 {
+			return arr
+		}
+	}
+	return nil
 }
 
 // MarshalJSON renders the request in its wire form. The sched, warp, and
@@ -29,6 +50,7 @@ type requestJSON struct {
 func (r Request) MarshalJSON() ([]byte, error) {
 	return json.Marshal(requestJSON{
 		Workloads:     r.Workloads,
+		Arrivals:      normalizeArrivals(r.Arrivals),
 		Sched:         r.Sched.String(),
 		Warp:          r.Warp.String(),
 		Scale:         ScaleName(r.Scale),
@@ -55,6 +77,7 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 	}
 	var out Request
 	out.Workloads = w.Workloads
+	out.Arrivals = normalizeArrivals(w.Arrivals)
 	if w.Sched != "" {
 		s, err := ParseSched(w.Sched)
 		if err != nil {
@@ -75,6 +98,23 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("sim: request scale: %w", err)
 		}
 		out.Scale = sc
+	}
+	if w.PriorityKernel != nil || w.DeadlineCycles != nil {
+		if out.Sched.Kind != SchedPreemptive {
+			return fmt.Errorf("sim: priority_kernel/deadline_cycles require \"sched\": \"preemptive\" (got %q)", out.Sched.String())
+		}
+		if w.PriorityKernel != nil {
+			if *w.PriorityKernel < 1 {
+				return fmt.Errorf("sim: priority_kernel must be >= 1 (got %d; kernel 0 already has launch-order priority)", *w.PriorityKernel)
+			}
+			out.Sched.Arg = *w.PriorityKernel
+		}
+		if w.DeadlineCycles != nil {
+			if *w.DeadlineCycles < 0 {
+				return fmt.Errorf("sim: deadline_cycles must be >= 0 (got %d)", *w.DeadlineCycles)
+			}
+			out.Sched.Arg2 = *w.DeadlineCycles
+		}
 	}
 	if w.Cores < 0 {
 		return fmt.Errorf("sim: request cores must be >= 0 (got %d)", w.Cores)

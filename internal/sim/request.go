@@ -17,6 +17,13 @@ import (
 type Request struct {
 	// Workloads are the suite workloads to launch, in launch order.
 	Workloads []string
+	// Arrivals are per-workload dispatch-availability cycles, parallel to
+	// Workloads; a missing or zero entry means available at machine launch.
+	// Entries must be nondecreasing in launch order (the GPU keeps arrived
+	// kernels a prefix of the launch table). Late arrivals set up the
+	// preemption scenarios: a latency-sensitive kernel arriving while the
+	// batch kernel owns every SM.
+	Arrivals []uint64
 	// Sched is the CTA scheduling policy.
 	Sched SchedSpec
 	// Warp is the per-SM warp scheduling policy.
@@ -56,6 +63,25 @@ func (r Request) Key() string {
 		// keys for the default (fast-forwarding) variant.
 		key += "|noff=true"
 	}
+	if len(r.Arrivals) > 0 {
+		// Appended (same cache-compatibility reasoning) and only when some
+		// arrival is nonzero: all-zero arrivals are semantically the zero
+		// value and must key like it.
+		any := false
+		for _, a := range r.Arrivals {
+			if a != 0 {
+				any = true
+				break
+			}
+		}
+		if any {
+			parts := make([]string, len(r.Arrivals))
+			for i, a := range r.Arrivals {
+				parts[i] = fmt.Sprintf("%d", a)
+			}
+			key += "|arr=" + strings.Join(parts, "+")
+		}
+	}
 	return key
 }
 
@@ -70,6 +96,15 @@ func (r Request) Validate() error {
 			return fmt.Errorf("sim: unknown workload %q", n)
 		}
 	}
+	if len(r.Arrivals) > len(r.Workloads) {
+		return fmt.Errorf("sim: %d arrivals for %d workloads", len(r.Arrivals), len(r.Workloads))
+	}
+	for i := 1; i < len(r.Arrivals); i++ {
+		if r.Arrivals[i] < r.Arrivals[i-1] {
+			return fmt.Errorf("sim: arrivals must be nondecreasing in launch order (entry %d: %d < %d)",
+				i, r.Arrivals[i], r.Arrivals[i-1])
+		}
+	}
 	return nil
 }
 
@@ -82,6 +117,9 @@ func (r Request) kernels() ([]*kernel.Spec, error) {
 			return nil, fmt.Errorf("sim: unknown workload %q", n)
 		}
 		specs[i] = w.Build(r.Scale)
+		if i < len(r.Arrivals) {
+			specs[i].Arrival = r.Arrivals[i]
+		}
 	}
 	return specs, nil
 }

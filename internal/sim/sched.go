@@ -41,6 +41,11 @@ const (
 	// SchedMixed co-schedules two kernels per SM (Arg = first kernel's
 	// CTA limit).
 	SchedMixed
+	// SchedPreemptive is drain/switch CTA preemption: the priority kernel
+	// (Arg, default 1) steals slots from batch kernels; Arg2, when nonzero,
+	// is the deadline in cycles that gates preemption through the online
+	// runtime predictor (0 = eager).
+	SchedPreemptive
 )
 
 // SchedSpec is a CTA scheduling policy plus its parameter — the typed form
@@ -48,8 +53,14 @@ const (
 type SchedSpec struct {
 	Kind SchedKind
 	// Arg parameterizes the policy: BCS gang width, static limit, spatial
-	// cores-for-first, mixed limit. 0 selects the policy default.
+	// cores-for-first, mixed limit, preemptive priority-kernel index.
+	// 0 selects the policy default.
 	Arg int
+	// Arg2 is the second parameter of two-argument policies (preemptive
+	// deadline cycles); 0 selects the policy default. Policies without a
+	// second argument normalize it away: the dispatcher never reads it, so
+	// the canonical string (and thus the cache key) ignores it too.
+	Arg2 int
 }
 
 // Typed constructors, mirroring the policies of internal/core.
@@ -81,6 +92,13 @@ func Spatial(coresForFirst int) SchedSpec { return SchedSpec{Kind: SchedSpatial,
 // Mixed co-schedules two kernels per SM, capping the first at limitA.
 func Mixed(limitA int) SchedSpec { return SchedSpec{Kind: SchedMixed, Arg: limitA} }
 
+// Preemptive drains batch CTAs to serve kernel priorityKernel (0 = the
+// default, kernel 1). deadlineCycles > 0 gates preemption on the online
+// predictor missing that absolute deadline; 0 preempts eagerly.
+func Preemptive(priorityKernel, deadlineCycles int) SchedSpec {
+	return SchedSpec{Kind: SchedPreemptive, Arg: priorityKernel, Arg2: deadlineCycles}
+}
+
 // schedEntry is one registry row: names, argument rules, and factories.
 type schedEntry struct {
 	kind      SchedKind
@@ -89,12 +107,15 @@ type schedEntry struct {
 	aliases   []string // accepted parse synonyms
 	// arg handling: takesArg policies render "name:arg" keys; needsArg
 	// rejects a bare name at parse time; defaultArg normalizes Arg == 0.
+	// takesArg2 policies additionally accept "name:arg:arg2" (arg2 == 0 is
+	// the default and is omitted from the canonical string).
 	takesArg   bool
+	takesArg2  bool
 	needsArg   bool
 	defaultArg int
 	// argInName embeds the arg in the display name ("static-3").
 	argInName bool
-	build     func(arg int) core.Dispatcher
+	build     func(arg, arg2 int) core.Dispatcher
 	limits    func(core.Dispatcher) []int
 }
 
@@ -102,28 +123,28 @@ var schedRegistry = []schedEntry{
 	{
 		kind: SchedBaseline, canonical: "baseline", display: "baseline",
 		aliases: []string{"base", "rr"},
-		build:   func(int) core.Dispatcher { return core.NewRoundRobin() },
+		build:   func(int, int) core.Dispatcher { return core.NewRoundRobin() },
 	},
 	{
 		kind: SchedLCS, canonical: "lcs", display: "lcs",
-		build:  func(int) core.Dispatcher { return core.NewLCS() },
+		build:  func(int, int) core.Dispatcher { return core.NewLCS() },
 		limits: func(d core.Dispatcher) []int { return d.(*core.LCS).Limits() },
 	},
 	{
 		kind: SchedAdaptiveLCS, canonical: "adaptive", display: "lcs-adaptive",
 		aliases: []string{"lcs-adaptive"},
-		build:   func(int) core.Dispatcher { return core.NewAdaptiveLCS() },
+		build:   func(int, int) core.Dispatcher { return core.NewAdaptiveLCS() },
 		limits:  func(d core.Dispatcher) []int { return d.(*core.AdaptiveLCS).Limits() },
 	},
 	{
 		kind: SchedDynCTA, canonical: "dyncta", display: "dyncta",
-		build:  func(int) core.Dispatcher { return core.NewDynCTA() },
+		build:  func(int, int) core.Dispatcher { return core.NewDynCTA() },
 		limits: func(d core.Dispatcher) []int { return d.(*core.DynCTA).Limits() },
 	},
 	{
 		kind: SchedBCS, canonical: "bcs", display: "bcs",
 		takesArg: true, defaultArg: 2,
-		build: func(arg int) core.Dispatcher {
+		build: func(arg, _ int) core.Dispatcher {
 			b := core.NewBCS()
 			if arg > 0 {
 				b.BlockSize = arg
@@ -134,17 +155,17 @@ var schedRegistry = []schedEntry{
 	{
 		kind: SchedStatic, canonical: "static", display: "static",
 		takesArg: true, needsArg: true, argInName: true,
-		build: func(arg int) core.Dispatcher { return core.NewLimited(arg) },
+		build: func(arg, _ int) core.Dispatcher { return core.NewLimited(arg) },
 	},
 	{
 		kind: SchedSequential, canonical: "sequential", display: "sequential",
 		aliases: []string{"seq"},
-		build:   func(int) core.Dispatcher { return core.NewSequential() },
+		build:   func(int, int) core.Dispatcher { return core.NewSequential() },
 	},
 	{
 		kind: SchedSpatial, canonical: "spatial", display: "spatial",
 		takesArg: true,
-		build: func(arg int) core.Dispatcher {
+		build: func(arg, _ int) core.Dispatcher {
 			s := core.NewSpatial()
 			s.CoresForA = arg
 			return s
@@ -153,7 +174,15 @@ var schedRegistry = []schedEntry{
 	{
 		kind: SchedMixed, canonical: "mixed", display: "mixed",
 		takesArg: true,
-		build:    func(arg int) core.Dispatcher { return core.NewMixed(arg) },
+		build:    func(arg, _ int) core.Dispatcher { return core.NewMixed(arg) },
+	},
+	{
+		kind: SchedPreemptive, canonical: "preemptive", display: "preemptive",
+		aliases:  []string{"preempt"},
+		takesArg: true, takesArg2: true, defaultArg: 1,
+		build: func(arg, arg2 int) core.Dispatcher {
+			return core.NewPreemptive(arg, uint64(arg2))
+		},
 	},
 }
 
@@ -177,16 +206,30 @@ func (s SchedSpec) arg() int {
 	return s.Arg
 }
 
-// String renders the canonical "name" / "name:arg" form used in cache keys;
-// ParseSched inverts it. The cachekey annotation pins every exported
-// SchedSpec field into this rendering: a policy parameter that does not
-// reach the string would alias distinct simulations in the result cache.
+// arg2 returns the normalized second argument: policies without one read it
+// as 0 whatever the field holds (NewDispatcher never passes it through), so
+// normalizing keeps the canonical string aligned with behavior.
+func (s SchedSpec) arg2() int {
+	if !s.entry().takesArg2 {
+		return 0
+	}
+	return s.Arg2
+}
+
+// String renders the canonical "name" / "name:arg" / "name:arg:arg2" form
+// used in cache keys; ParseSched inverts it. The cachekey annotation pins
+// every exported SchedSpec field into this rendering: a policy parameter
+// that does not reach the string would alias distinct simulations in the
+// result cache.
 //
 //gpulint:cachekey SchedSpec
 func (s SchedSpec) String() string {
 	e := s.entry()
 	if !e.takesArg {
 		return e.canonical
+	}
+	if a2 := s.arg2(); a2 != 0 {
+		return fmt.Sprintf("%s:%d:%d", e.canonical, s.arg(), a2)
 	}
 	return fmt.Sprintf("%s:%d", e.canonical, s.arg())
 }
@@ -203,7 +246,7 @@ func (s SchedSpec) Name() string {
 // NewDispatcher instantiates the policy. Each simulation needs a fresh
 // dispatcher: they carry per-run state.
 func (s SchedSpec) NewDispatcher() core.Dispatcher {
-	return s.entry().build(s.arg())
+	return s.entry().build(s.arg(), s.arg2())
 }
 
 // Limits extracts the per-core CTA limits a finished dispatcher decided.
@@ -217,13 +260,14 @@ func (s SchedSpec) Limits(d core.Dispatcher) (limits []int, ok bool) {
 }
 
 // SchedFlagHelp documents ParseSched's grammar for CLI -sched flags.
-const SchedFlagHelp = "baseline | lcs | adaptive | dyncta | bcs[:N] | static:N | sequential | spatial[:N] | mixed[:N]"
+const SchedFlagHelp = "baseline | lcs | adaptive | dyncta | bcs[:N] | static:N | sequential | spatial[:N] | mixed[:N] | preemptive[:P[:D]]"
 
-// ParseSched parses the scheduler DSL ("lcs", "bcs:4", "static:3", ...).
-// This is the only scheduler parser in the tree; every entry point
-// delegates here.
+// ParseSched parses the scheduler DSL ("lcs", "bcs:4", "static:3",
+// "preemptive:1:60000", ...). This is the only scheduler parser in the
+// tree; every entry point delegates here.
 func ParseSched(s string) (SchedSpec, error) {
 	name, argStr, hasArg := strings.Cut(s, ":")
+	argStr, arg2Str, hasArg2 := strings.Cut(argStr, ":")
 	var e *schedEntry
 	for i := range schedRegistry {
 		cand := &schedRegistry[i]
@@ -247,6 +291,9 @@ func ParseSched(s string) (SchedSpec, error) {
 	if hasArg && !e.takesArg {
 		return SchedSpec{}, fmt.Errorf("scheduler %q takes no argument", name)
 	}
+	if hasArg2 && !e.takesArg2 {
+		return SchedSpec{}, fmt.Errorf("scheduler %q takes no second argument", name)
+	}
 	if e.needsArg && !hasArg {
 		return SchedSpec{}, fmt.Errorf("scheduler %q needs an argument, e.g. %s:3", name, e.canonical)
 	}
@@ -258,7 +305,15 @@ func ParseSched(s string) (SchedSpec, error) {
 		}
 		arg = v
 	}
-	return SchedSpec{Kind: e.kind, Arg: arg}, nil
+	arg2 := 0
+	if hasArg2 {
+		v, err := strconv.Atoi(arg2Str)
+		if err != nil || v < 0 {
+			return SchedSpec{}, fmt.Errorf("bad second argument %q for scheduler %q", arg2Str, name)
+		}
+		arg2 = v
+	}
+	return SchedSpec{Kind: e.kind, Arg: arg, Arg2: arg2}, nil
 }
 
 // WarpFlagHelp documents ParseWarpPolicy's accepted names.

@@ -46,6 +46,10 @@ func TestParseSched(t *testing.T) {
 		{"spatial", "spatial", "spatial"},
 		{"spatial:8", "spatial", "spatial"},
 		{"mixed:2", "mixed", "mixed"},
+		{"preemptive", "preemptive", "preemptive"},
+		{"preempt", "preemptive", "preemptive"},
+		{"preemptive:2", "preemptive", "preemptive"},
+		{"preemptive:1:60000", "preemptive", "preemptive"},
 	}
 	for _, c := range ok {
 		s, err := sim.ParseSched(c.in)
@@ -60,7 +64,10 @@ func TestParseSched(t *testing.T) {
 			t.Errorf("ParseSched(%q) dispatcher = %q, want %q", c.in, got, c.dispatcher)
 		}
 	}
-	for _, bad := range []string{"", "nope", "static", "static:x", "static:-1", "bcs:y", "lcs:3"} {
+	for _, bad := range []string{
+		"", "nope", "static", "static:x", "static:-1", "bcs:y", "lcs:3",
+		"preemptive:x", "preemptive:1:y", "preemptive:1:-5", "bcs:2:3", "lcs:1:2",
+	} {
 		if _, err := sim.ParseSched(bad); err == nil {
 			t.Errorf("ParseSched(%q) accepted", bad)
 		}
@@ -75,6 +82,7 @@ func TestSchedStringRoundTrips(t *testing.T) {
 		sim.Baseline(), sim.LCS(), sim.AdaptiveLCS(), sim.DynCTA(),
 		sim.BCS(0), sim.BCS(4), sim.Static(3), sim.Sequential(),
 		sim.Spatial(0), sim.Mixed(2),
+		sim.Preemptive(1, 0), sim.Preemptive(2, 0), sim.Preemptive(1, 60000),
 	}
 	for _, s := range specs {
 		back, err := sim.ParseSched(s.String())
@@ -415,6 +423,12 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 		// Regression: the wire form once dropped NoFastForward, silently
 		// aliasing the reference-loop variant onto the fast-forward cache.
 		{Workloads: []string{"vadd"}, NoFastForward: true},
+		{
+			Workloads: []string{"spmv", "dct8x8"}, Arrivals: []uint64{0, 40000},
+			Sched: sim.Preemptive(1, 120000), Scale: workloads.ScaleSmall, Cores: 4,
+		},
+		// All-zero arrivals are the zero value: same key, same wire form.
+		{Workloads: []string{"vadd"}, Arrivals: []uint64{0}},
 	}
 	for _, r := range reqs {
 		data, err := json.Marshal(r)
@@ -449,5 +463,44 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 		if err := json.Unmarshal([]byte(bad), &r); err == nil {
 			t.Errorf("unmarshal accepted %s", bad)
 		}
+	}
+}
+
+// TestRequestJSONPreemptiveConvenience covers the priority_kernel /
+// deadline_cycles spelling: it folds into the preemptive sched spec, and is
+// rejected for any other scheduler.
+func TestRequestJSONPreemptiveConvenience(t *testing.T) {
+	var r sim.Request
+	in := `{"workloads":["spmv","dct8x8"],"sched":"preemptive","priority_kernel":1,"deadline_cycles":90000,"arrivals":[0,40000]}`
+	if err := json.Unmarshal([]byte(in), &r); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Preemptive(1, 90000); r.Sched.String() != want.String() {
+		t.Errorf("folded sched = %q, want %q", r.Sched.String(), want.String())
+	}
+	if len(r.Arrivals) != 2 || r.Arrivals[1] != 40000 {
+		t.Errorf("arrivals = %v", r.Arrivals)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid preemptive request rejected: %v", err)
+	}
+	for _, bad := range []string{
+		`{"workloads":["vadd"],"priority_kernel":1}`,                       // needs preemptive sched
+		`{"workloads":["vadd"],"sched":"lcs","deadline_cycles":5}`,         // wrong scheduler
+		`{"workloads":["vadd"],"sched":"preemptive","priority_kernel":0}`,  // kernel 0 is already first
+		`{"workloads":["vadd"],"sched":"preemptive","deadline_cycles":-1}`, // negative deadline
+	} {
+		var r sim.Request
+		if err := json.Unmarshal([]byte(bad), &r); err == nil {
+			t.Errorf("unmarshal accepted %s", bad)
+		}
+	}
+	// Decreasing arrivals parse but fail validation.
+	var dec sim.Request
+	if err := json.Unmarshal([]byte(`{"workloads":["spmv","vadd"],"arrivals":[500,100]}`), &dec); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Validate(); err == nil {
+		t.Error("decreasing arrivals passed Validate")
 	}
 }

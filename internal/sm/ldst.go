@@ -106,6 +106,7 @@ func (u *ldstUnit) takeLines() []uint64 {
 //gpulint:hotpath
 func (u *ldstUnit) accept(w *Warp, wi *isa.WarpInstr, now uint64) {
 	e := ldstEntry{warp: w, wi: *wi}
+	w.cta.memRefs++ // queue entry holds the warp until popHead
 	if wi.Op.IsGlobal() {
 		e.lines = mem.Coalesce(u.takeLines(), wi, w.cta.AddrBase, u.sm.memCfg.LineBytes)
 	}
@@ -122,6 +123,7 @@ func (u *ldstUnit) accept(w *Warp, wi *isa.WarpInstr, now uint64) {
 		}
 		e.token = tok
 		e.hasToken = true
+		w.cta.memRefs++ // token holds the warp until the last transaction
 		// The scoreboard holds the destination until the last
 		// transaction returns.
 		if wi.Dst != 0 {
@@ -211,6 +213,7 @@ func (u *ldstUnit) tickGlobal(e *ldstEntry, now uint64) {
 
 //gpulint:hotpath
 func (u *ldstUnit) popHead() {
+	u.queue[0].warp.cta.memRefs--
 	if ln := u.queue[0].lines; ln != nil {
 		//gpulint:allow hotalloc linePool append is bounded by the queue cap — it recycles at most LDSTQueueCap buffers, the opposite of a leak
 		u.linePool = append(u.linePool, ln)
@@ -247,6 +250,7 @@ func (u *ldstUnit) completeOne(t uint32, now uint64) {
 		p.warp.readyAt[p.dst] = now
 		p.warp.clearStall()
 	}
+	p.warp.cta.memRefs--
 	u.sm.memLatencySum += now - p.issued
 	u.sm.memLoadsDone++
 	p.inUse = false

@@ -10,6 +10,7 @@ const (
 	skipBarrier
 	skipScoreboard
 	skipStructural // LDST queue, pending table, or SFU pipe full
+	skipDraining   // warp's CTA is draining for preemption
 )
 
 // scheduler is one warp-issue slot of an SM. It owns a disjoint subset of

@@ -31,6 +31,14 @@ type SM struct {
 
 	// onCTADone is invoked when a resident CTA retires.
 	onCTADone func(coreID int, cta *CTA)
+	// onCTADrained is invoked when a draining CTA is evicted — the
+	// preemption counterpart of onCTADone, reported distinctly because the
+	// CTA did not finish and must be re-dispatched.
+	onCTADrained func(coreID int, cta *CTA)
+	// draining counts resident CTAs in CTADraining. While nonzero, NextEvent
+	// pins the event horizon to now: eviction is checked every Tick, so
+	// fast-forward must not skip across a drain window.
+	draining int
 
 	// Stats accumulates the core counters; KernelIssued buckets issued
 	// instructions by kernel index (sized by the GPU at construction).
@@ -64,6 +72,15 @@ func New(id int, cfg *Config, sys *mem.System, numKernels int, onCTADone func(in
 
 // ID returns the core index.
 func (s *SM) ID() int { return s.id }
+
+// SetDrainHandler registers the eviction callback invoked when a draining
+// CTA has left the core (distinct from retirement). Must be set before the
+// first Tick. Like onCTADone it may run on a phase-A worker goroutine, so
+// implementations must confine themselves to core-private state.
+func (s *SM) SetDrainHandler(fn func(coreID int, cta *CTA)) { s.onCTADrained = fn }
+
+// Draining returns the number of resident CTAs currently draining.
+func (s *SM) Draining() int { return s.draining }
 
 // L1Stats exposes the L1 hit/miss counters.
 func (s *SM) L1Stats() *stats.Cache { return s.l1.CacheStats() }
@@ -197,6 +214,78 @@ func (s *SM) Tick(now uint64) {
 	for i := range s.schedulers {
 		s.issueOne(&s.schedulers[i], now)
 	}
+	if s.draining > 0 {
+		s.evictDrained(now)
+	}
+}
+
+// DrainCTA begins preemption of a resident CTA: it moves the CTA to
+// CTADraining, which suppresses all further instruction issue by its warps
+// (including OpExit — a marked CTA can only leave the core by eviction).
+// The CTA is evicted by a later Tick once its in-flight memory work
+// completes. Returns false when cta is not resident in the running state —
+// in particular when a natural completion raced the drain request and the
+// CTA already retired.
+func (s *SM) DrainCTA(cta *CTA) bool {
+	if cta == nil || cta.state != CTARunning {
+		return false
+	}
+	resident := false
+	for _, c := range s.ctas {
+		if c == cta {
+			resident = true
+			break
+		}
+	}
+	if !resident {
+		return false
+	}
+	cta.state = CTADraining
+	s.draining++
+	return true
+}
+
+// evictDrained evicts every draining CTA whose memory work has completed.
+// It runs at the end of Tick, so the response drain earlier in the same
+// cycle may have retired the final pending load.
+func (s *SM) evictDrained(now uint64) {
+	for i := 0; i < len(s.ctas); {
+		cta := s.ctas[i]
+		if cta.state == CTADraining && cta.memRefs == 0 {
+			s.evictCTA(cta, now)
+			continue // eviction removed index i; the next CTA shifted in
+		}
+		i++
+	}
+}
+
+// evictCTA removes a fully drained CTA from the core: completeCTA's resource
+// accounting (scheduler slots, usage, per-kernel residency) with the drained
+// CTA reported through the drain handler instead of the retirement one.
+func (s *SM) evictCTA(cta *CTA, now uint64) {
+	for _, w := range cta.warps {
+		if !w.finished {
+			w.sched.remove(w)
+			w.finished = true
+		}
+	}
+	for i, c := range s.ctas {
+		if c == cta {
+			copy(s.ctas[i:], s.ctas[i+1:])
+			s.ctas = s.ctas[:len(s.ctas)-1]
+			break
+		}
+	}
+	s.usage = s.usage.Add(cta.Spec, -1)
+	if cta.KernelIdx >= 0 && cta.KernelIdx < len(s.residentByKernel) {
+		s.residentByKernel[cta.KernelIdx]--
+	}
+	s.draining--
+	cta.state = CTAEvicted
+	s.Stats.CTAsDrained++
+	if s.onCTADrained != nil {
+		s.onCTADrained(s.id, cta)
+	}
 }
 
 // issueOne runs one scheduler slot for one cycle.
@@ -214,6 +303,8 @@ func (s *SM) issueOne(sched *scheduler, now uint64) {
 			s.Stats.StallLDSTFull++
 		case skipBarrier:
 			s.Stats.StallBarrier++
+		case skipDraining:
+			s.Stats.StallDrain++
 		}
 		return
 	}
@@ -249,6 +340,10 @@ func (s *SM) pickOrReason(sched *scheduler, now uint64) (*Warp, skipReason) {
 func (s *SM) canIssue(sched *scheduler, w *Warp, now uint64) (bool, skipReason) {
 	if w.finished {
 		return false, skipFinished
+	}
+	if w.cta.state == CTADraining {
+		// Drain protocol: no new instructions past the preemption point.
+		return false, skipDraining
 	}
 	if w.atBarrier {
 		return false, skipBarrier
@@ -400,6 +495,13 @@ func (s *SM) NextEvent(now uint64) uint64 {
 	if s.Idle() {
 		return NeverEvent
 	}
+	if s.draining > 0 {
+		// A drain is in progress: eviction readiness (memRefs == 0) is
+		// re-checked every Tick, and a drained-CTA commit changes dispatch
+		// state, so no cycle in a drain window may be skipped. Drains last
+		// one memory round trip at most — the conservative bound is cheap.
+		return now
+	}
 	next := s.ldst.nextEvent(now)
 	if next <= now {
 		return now
@@ -498,6 +600,10 @@ func (s *SM) FastForward(from, to uint64) {
 			s.Stats.StallLDSTFull += k
 		case skipBarrier:
 			s.Stats.StallBarrier += k
+		case skipDraining:
+			// Unreachable: NextEvent pins the horizon while draining, so no
+			// window containing a drain is ever skipped. Kept for symmetry.
+			s.Stats.StallDrain += k
 		}
 	}
 }

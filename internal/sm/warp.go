@@ -93,6 +93,22 @@ func (w *Warp) operandsReady(now uint64) bool {
 	return true
 }
 
+// CTAState is a resident CTA's position in the preemption lifecycle.
+type CTAState uint8
+
+const (
+	// CTARunning is the normal state: warps issue freely.
+	CTARunning CTAState = iota
+	// CTADraining means a preemption drain is in progress: the CTA's warps
+	// issue no further instructions, and the CTA leaves the core as soon as
+	// its in-flight memory work (memRefs) reaches zero.
+	CTADraining
+	// CTAEvicted marks a CTA drained off its core before completing. The
+	// object is no longer resident; the dispatcher re-dispatches the CTA id
+	// from scratch (redone work is the preemption cost this model charges).
+	CTAEvicted
+)
+
 // CTA is one resident cooperative thread array on an SM.
 type CTA struct {
 	// Spec is the launched kernel.
@@ -118,7 +134,18 @@ type CTA struct {
 	warps     []*Warp
 	liveWarps int
 	barCount  int
+	// state is the preemption lifecycle position (see CTAState).
+	state CTAState
+	// memRefs counts live LDST references to this CTA's warps: one per
+	// queued memory instruction (accept→popHead) plus one per outstanding
+	// pending-load token (accept→final completeOne). A draining CTA may be
+	// evicted only at memRefs == 0 — no later response can then touch a
+	// warp that is gone.
+	memRefs int
 }
+
+// State returns the CTA's preemption lifecycle state.
+func (c *CTA) State() CTAState { return c.state }
 
 // Live returns the number of warps that have not exited.
 func (c *CTA) Live() int { return c.liveWarps }

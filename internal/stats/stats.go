@@ -27,8 +27,14 @@ type Core struct {
 	StallLDSTFull uint64
 	// StallBarrier counts warps skipped while waiting at a barrier.
 	StallBarrier uint64
+	// StallDrain counts scheduler slots whose preferred warp belonged to a
+	// CTA draining for preemption (issue suppressed by the drain protocol).
+	StallDrain uint64
 	// CTAsCompleted counts CTAs retired by this core.
 	CTAsCompleted uint64
+	// CTAsDrained counts CTAs evicted by preemption drains before finishing
+	// (distinct from CTAsCompleted; the evicted CTA is re-dispatched later).
+	CTAsDrained uint64
 	// SharedAccesses and SharedConflictPasses track scratchpad traffic;
 	// passes > accesses indicates serialization from bank conflicts.
 	SharedAccesses       uint64
@@ -129,6 +135,10 @@ type Kernel struct {
 	// InstrIssued counts instructions issued on behalf of this kernel.
 	InstrIssued uint64
 	CTAs        int
+	// Evicted counts drain-preemption evictions of this kernel's CTAs (each
+	// evicted CTA restarts from scratch on re-dispatch, so Evicted is also
+	// the number of wasted partial executions).
+	Evicted int
 }
 
 // Duration returns the kernel's makespan in cycles.
@@ -189,6 +199,51 @@ func HarmonicMean(vs []float64) float64 {
 		return 0
 	}
 	return float64(n) / sum
+}
+
+// NormalizedTurnaround returns T_shared/T_alone for one kernel of a
+// multiprogrammed run: 1.0 means sharing cost the kernel nothing, larger is
+// worse. Returns 0 when the solo baseline is degenerate.
+func NormalizedTurnaround(alone, shared uint64) float64 {
+	if alone == 0 {
+		return 0
+	}
+	return float64(shared) / float64(alone)
+}
+
+// ANTT returns the average normalized turnaround time — the arithmetic mean
+// of per-kernel NormalizedTurnaround values (Eyerman & Eeckhout's
+// multiprogram latency metric; lower is better, 1.0 is the no-interference
+// floor). Non-positive entries (failed runs) are ignored.
+func ANTT(nts []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, v := range nts {
+		if v <= 0 {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// STP returns system throughput for the same normalized turnarounds:
+// Σ T_alone/T_shared, i.e. how many kernels' worth of progress the shared
+// run sustained per unit time (higher is better, bounded by the kernel
+// count). Non-positive entries are ignored.
+func STP(nts []float64) float64 {
+	sum := 0.0
+	for _, v := range nts {
+		if v <= 0 {
+			continue
+		}
+		sum += 1 / v
+	}
+	return sum
 }
 
 // Pct formats a fraction as a percentage string with one decimal.
