@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test lint ci bench bench-all paper paper-small examples serve clean
+.PHONY: all build test lint ci bench bench-all paper paper-small examples serve fleet-smoke clean
 
 all: build test
 
@@ -58,6 +58,11 @@ paper-small:
 # Run the simulation daemon (HTTP job API on :8080; see README).
 serve:
 	go run ./cmd/gpuschedd
+
+# End-to-end fleet check: 2 shards + router + loadgen, asserting a
+# nonzero fleet dedup hit rate (see DESIGN.md "Fleet architecture").
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 examples:
 	go run ./examples/quickstart

@@ -1,0 +1,144 @@
+// Command gpurouter is the fleet front door: it consistent-hashes
+// incoming simulation requests by their canonical cache key onto N
+// gpuschedd shards, so singleflight dedup and the on-disk result cache
+// act fleet-wide — duplicate requests from any number of clients simulate
+// exactly once, on one shard.
+//
+//	gpurouter -shards http://10.0.0.1:8080,http://10.0.0.2:8080
+//	gpurouter -shards s-east=http://a:8080,s-west=http://b:8080 -probe-interval 500ms
+//
+// Shards are probed on /readyz; a shard that fails -fail-after probes in
+// a row is marked down and its keys rehash onto the survivors. Forwards
+// retry with linear backoff onto fallback shards on transport errors and
+// 502/503/504. Job ids come back fleet-scoped ("s0/job-7") so status,
+// cancel, and event-stream requests route back to the owning shard.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpusched/internal/fleet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseShards turns the -shards flag into the ring membership. Entries
+// are "url" (named s0, s1, ... by position) or "name=url". Names feed the
+// rendezvous hash, so naming shards explicitly keeps placement stable
+// when the fleet's URL list is reordered or a shard changes address.
+func parseShards(spec string) ([]*fleet.Shard, error) {
+	var shards []*fleet.Shard
+	seen := map[string]bool{}
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, found := strings.Cut(entry, "=")
+		if !found {
+			name, url = fmt.Sprintf("s%d", i), entry
+		}
+		url = strings.TrimRight(strings.TrimSpace(url), "/")
+		name = strings.TrimSpace(name)
+		if name == "" || strings.Contains(name, "/") {
+			return nil, fmt.Errorf("bad shard name %q (must be nonempty, no '/')", name)
+		}
+		if url == "" || !strings.Contains(url, "://") {
+			return nil, fmt.Errorf("bad shard URL %q (want http://host:port)", url)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate shard name %q", name)
+		}
+		seen[name] = true
+		shards = append(shards, &fleet.Shard{Name: name, URL: url})
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("no shards configured (-shards)")
+	}
+	return shards, nil
+}
+
+// run serves until ctx is canceled; it is the testable core.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpurouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8070", "listen address")
+		shardsSpec    = fs.String("shards", "", "comma-separated shard base URLs, each 'url' or 'name=url' (required)")
+		probeInterval = fs.Duration("probe-interval", time.Second, "shard health probe period")
+		probeTimeout  = fs.Duration("probe-timeout", 0, "per-probe deadline (0 = half the interval)")
+		failAfter     = fs.Int("fail-after", 2, "consecutive probe/forward failures before a shard is marked down")
+		retries       = fs.Int("retries", 2, "fallback shards tried after the owner fails")
+		backoff       = fs.Duration("backoff", 50*time.Millisecond, "base retry backoff (attempt k waits k*backoff)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	shards, err := parseShards(*shardsSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpurouter: %v\n", err)
+		return 2
+	}
+
+	router := fleet.NewRouter(shards, fleet.Config{
+		Retries:       *retries,
+		Backoff:       *backoff,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+		OnHealthChange: func(s *fleet.Shard, up bool) {
+			if up {
+				fmt.Fprintf(stdout, "gpurouter: shard %s (%s) recovered\n", s.Name, s.URL)
+			} else {
+				fmt.Fprintf(stderr, "gpurouter: shard %s (%s) marked down: %s\n", s.Name, s.URL, s.LastError())
+			}
+		},
+	})
+	router.Start()
+	defer router.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpurouter: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: router.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	names := make([]string, len(shards))
+	for i, s := range shards {
+		names[i] = s.Name
+	}
+	fmt.Fprintf(stdout, "gpurouter listening on %s (%d shards: %s)\n", ln.Addr(), len(shards), strings.Join(names, ","))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "gpurouter: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stdout, "gpurouter: signal received, shutting down\n")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "gpurouter: http shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gpurouter: stopped\n")
+	return 0
+}

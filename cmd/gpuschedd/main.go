@@ -26,9 +26,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"gpusched/internal/fleet"
 	"gpusched/internal/server"
 	"gpusched/internal/sim"
 )
@@ -46,28 +48,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gpuschedd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address")
-		workers     = fs.Int("workers", 0, "job runner goroutines (0 = NumCPU)")
-		simWorkers  = fs.Int("sim-workers", 0, "concurrent simulator executions (0 = NumCPU)")
-		tickWorkers = fs.Int("tick-workers", 0, "OS threads per simulation ticking the SMs (0 = GOMAXPROCS, 1 = serial; never changes results)")
-		queue       = fs.Int("queue", 64, "admission queue depth (full queue = HTTP 429)")
-		cacheDir    = fs.String("cache", "results/.simcache", "on-disk result cache directory ('off' = disabled)")
-		maxFlights  = fs.Int("max-flights", 4096, "in-memory result memo cap (0 = unbounded)")
-		ttl         = fs.Duration("ttl", time.Hour, "how long finished jobs stay queryable")
-		timeout     = fs.Duration("timeout", 0, "default per-job deadline (0 = none)")
-		maxTimeout  = fs.Duration("max-timeout", 0, "cap on client-requested job deadlines (0 = uncapped)")
-		syncTimeout = fs.Duration("sync-timeout", 2*time.Minute, "deadline for POST /v1/simulate")
-		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
-		pprofAddr   = fs.String("pprof", "", "listen address for net/http/pprof (empty = disabled)")
-		verbose     = fs.Bool("v", false, "log each completed simulation")
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "job runner goroutines (0 = NumCPU)")
+		simWorkers   = fs.Int("sim-workers", 0, "concurrent simulator executions (0 = NumCPU)")
+		tickWorkers  = fs.Int("tick-workers", 0, "OS threads per simulation ticking the SMs (0 = GOMAXPROCS, 1 = serial; never changes results)")
+		queue        = fs.Int("queue", 64, "admission queue depth (full queue = HTTP 429)")
+		cacheDir     = fs.String("cache", "results/.simcache", "on-disk result cache directory ('off' = disabled)")
+		cacheEntries = fs.Int("cache-entries", 0, "on-disk cache entry budget; oldest-mtime entries are evicted on store (0 = unbounded)")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "on-disk cache byte budget (0 = unbounded)")
+		peers        = fs.String("peers", "", "comma-separated peer shard base URLs for fetch-before-simulate (fleet peer-cache protocol)")
+		peerTimeout  = fs.Duration("peer-timeout", 2*time.Second, "per-peer deadline for one cache fetch")
+		maxFlights   = fs.Int("max-flights", 4096, "in-memory result memo cap (0 = unbounded)")
+		ttl          = fs.Duration("ttl", time.Hour, "how long finished jobs stay queryable")
+		timeout      = fs.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		maxTimeout   = fs.Duration("max-timeout", 0, "cap on client-requested job deadlines (0 = uncapped)")
+		syncTimeout  = fs.Duration("sync-timeout", 2*time.Minute, "deadline for POST /v1/simulate")
+		drain        = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		pprofAddr    = fs.String("pprof", "", "listen address for net/http/pprof (empty = disabled)")
+		verbose      = fs.Bool("v", false, "log each completed simulation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	opt := sim.Options{Workers: *simWorkers, TickWorkers: *tickWorkers, MaxFlights: *maxFlights}
+	opt := sim.Options{
+		Workers: *simWorkers, TickWorkers: *tickWorkers, MaxFlights: *maxFlights,
+		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
+	}
 	if *cacheDir != "" && *cacheDir != "off" {
 		opt.CacheDir = *cacheDir
+	}
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				urls = append(urls, p)
+			}
+		}
+		if len(urls) > 0 {
+			opt.PeerFetch = fleet.NewPeerCache(urls, *peerTimeout).Fetch
+		}
 	}
 	if *verbose {
 		opt.Progress = stderr

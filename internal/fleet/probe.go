@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Prober drives the ring's health state: every Interval it probes each
+// shard's /readyz in parallel and feeds the verdicts into the shard's
+// failure streak. A shard is marked down after FailAfter consecutive
+// failures (readiness 503s count — a draining or saturated shard should
+// stop receiving new work) and marked up again on the first success.
+type Prober struct {
+	ring      *Ring
+	interval  time.Duration
+	failAfter int
+	client    *http.Client
+	onChange  func(s *Shard, up bool) // optional health-transition hook
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewProber builds a prober over ring. interval is the probe period,
+// timeout the per-probe HTTP budget, failAfter the consecutive-failure
+// mark-down threshold. onChange (optional) observes health transitions.
+func NewProber(ring *Ring, interval, timeout time.Duration, failAfter int, onChange func(*Shard, bool)) *Prober {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if timeout <= 0 {
+		timeout = interval / 2
+	}
+	return &Prober{
+		ring:      ring,
+		interval:  interval,
+		failAfter: failAfter,
+		client:    &http.Client{Timeout: timeout},
+		onChange:  onChange,
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop. An immediate first round runs before the
+// ticker settles in, so a router fronting a dead shard marks it down
+// within FailAfter×Interval of boot, not one interval later.
+func (p *Prober) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		p.probeAll()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for in-flight probes to finish.
+func (p *Prober) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// probeAll probes every shard concurrently so one black-holed host can't
+// delay detection on the others past the per-probe timeout.
+func (p *Prober) probeAll() {
+	var wg sync.WaitGroup
+	for _, s := range p.ring.Shards() {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			p.probe(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(s *Shard) {
+	resp, err := p.client.Get(s.URL + "/readyz")
+	switch {
+	case err != nil:
+		if s.noteFailure("probe: "+err.Error(), p.failAfter) && p.onChange != nil {
+			p.onChange(s, false)
+		}
+	case resp.StatusCode != http.StatusOK:
+		resp.Body.Close()
+		if s.noteFailure("probe: readyz "+resp.Status, p.failAfter) && p.onChange != nil {
+			p.onChange(s, false)
+		}
+	default:
+		resp.Body.Close()
+		if s.noteSuccess() && p.onChange != nil {
+			p.onChange(s, true)
+		}
+	}
+}

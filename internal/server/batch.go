@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"gpusched/internal/sim"
+)
+
+// maxBatchItems bounds one POST /v1/jobs:batch submission. The cap keeps
+// a single connection from monopolizing the simulation pool; bigger
+// sweeps belong on the async job API (or across several batches).
+const maxBatchItems = 256
+
+// batchEnvelope is the request body of POST /v1/jobs:batch: a list of
+// flat simulation requests plus one deadline covering the whole batch.
+type batchEnvelope struct {
+	Items     []json.RawMessage `json:"items"`
+	TimeoutMS int64             `json:"timeout_ms"`
+}
+
+// batchItemResult is one NDJSON line of the batch response, emitted in
+// completion order (not submission order — Index correlates). Key is the
+// canonical cache identity, echoed so clients and routers can correlate
+// items with cache entries and shard placement without recomputing it.
+type batchItemResult struct {
+	Index   int          `json:"index"`
+	Key     string       `json:"key"`
+	Outcome *sim.Outcome `json:"outcome,omitempty"`
+	Error   *apiError    `json:"error,omitempty"`
+}
+
+// handleBatch runs a mixed batch synchronously, fanning the items into
+// the sim.Service (whose worker pool bounds actual concurrency — identical
+// items coalesce via singleflight) and streaming one NDJSON line per item
+// as it completes. Streaming means a batch of one slow and many cached
+// requests delivers the cached answers immediately.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "daemon is draining; no new batches")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "validation", "reading body: %v", err)
+		return
+	}
+	var env batchEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		writeError(w, http.StatusBadRequest, "validation", "%v", err)
+		return
+	}
+	if len(env.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "validation", "batch has no items")
+		return
+	}
+	if len(env.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "validation", "batch has %d items (max %d)", len(env.Items), maxBatchItems)
+		return
+	}
+	if env.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "validation", "timeout_ms must be >= 0 (got %d)", env.TimeoutMS)
+		return
+	}
+	// Decode and validate every item up front: a malformed item fails the
+	// whole batch with a 400 naming its index, before any work starts.
+	reqs := make([]sim.Request, len(env.Items))
+	for i, raw := range env.Items {
+		if err := json.Unmarshal(raw, &reqs[i]); err != nil {
+			writeError(w, http.StatusBadRequest, "validation", "item %d: %v", i, err)
+			return
+		}
+		if err := reqs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "validation", "item %d: %v", i, err)
+			return
+		}
+	}
+
+	timeout := time.Duration(env.TimeoutMS) * time.Millisecond
+	if timeout <= 0 || timeout > s.cfg.SyncTimeout {
+		timeout = s.cfg.SyncTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.batch.batches.Add(1)
+	results := make(chan batchItemResult)
+	for i := range reqs {
+		go func(i int, req sim.Request) {
+			out, err := s.svc.Run(ctx, req)
+			res := batchItemResult{Index: i, Key: req.Key()}
+			if err != nil {
+				res.Error = &apiError{Code: "simulation", Message: err.Error()}
+			} else {
+				res.Outcome = &out
+			}
+			results <- res
+		}(i, reqs[i])
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for range reqs {
+		res := <-results
+		if res.Error != nil {
+			s.batch.itemsFailed.Add(1)
+		} else {
+			s.batch.itemsDone.Add(1)
+		}
+		enc.Encode(res) //nolint:errcheck // the stream is already committed
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpusched/internal/sim"
+	"gpusched/internal/sm"
+	"gpusched/internal/workloads"
+)
+
+// tinyReq is the cheapest real simulation; seq varies the cache key.
+func tinyReq(seq int) sim.Request {
+	return sim.Request{
+		Workloads: []string{"vadd"},
+		Sched:     sim.LCS(),
+		Warp:      sm.PolicyGTO,
+		Scale:     workloads.ScaleTest,
+		Cores:     4,
+		MaxCycles: 20_000_000 + uint64(seq),
+	}
+}
+
+func batchBody(t *testing.T, reqs ...sim.Request) string {
+	t.Helper()
+	items := make([]json.RawMessage, len(reqs))
+	for i, r := range reqs {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = raw
+	}
+	body, err := json.Marshal(map[string]any{"items": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestBatchRoundTrip: a batch with duplicates streams NDJSON, echoes
+// every item's canonical key, coalesces duplicates via singleflight, and
+// counts items in the batch metrics.
+func TestBatchRoundTrip(t *testing.T) {
+	svc := sim.NewService(sim.Options{})
+	s := New(svc, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []sim.Request{tinyReq(0), tinyReq(1), tinyReq(0), tinyReq(1), tinyReq(0)}
+	resp, err := http.Post(ts.URL+"/v1/jobs:batch", "application/json", strings.NewReader(batchBody(t, reqs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	type line struct {
+		Index   int          `json:"index"`
+		Key     string       `json:"key"`
+		Outcome *sim.Outcome `json:"outcome"`
+		Error   *apiError    `json:"error"`
+	}
+	seen := map[int]line{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if _, dup := seen[l.Index]; dup {
+			t.Fatalf("index %d emitted twice", l.Index)
+		}
+		seen[l.Index] = l
+	}
+	if len(seen) != len(reqs) {
+		t.Fatalf("got %d lines, want %d", len(seen), len(reqs))
+	}
+	for i, req := range reqs {
+		l, ok := seen[i]
+		if !ok {
+			t.Errorf("index %d missing", i)
+			continue
+		}
+		if l.Error != nil {
+			t.Errorf("index %d failed: %s", i, l.Error.Message)
+		}
+		if l.Key != req.Key() {
+			t.Errorf("index %d key = %q, want %q", i, l.Key, req.Key())
+		}
+		if l.Outcome == nil {
+			t.Errorf("index %d has no outcome", i)
+		}
+	}
+	// Duplicates coalesce: 5 items, 2 unique keys, at most 2 simulations
+	// (singleflight may miss a coalesce window, never the memo afterwards).
+	if st := svc.Stats(); st.Simulated != 2 {
+		t.Errorf("batch of 5 with 2 unique keys simulated %d times, want 2", st.Simulated)
+	}
+	if bs := s.batchStats(); bs.Batches != 1 || bs.ItemsDone != 5 || bs.ItemsFailed != 0 {
+		t.Errorf("batch stats = %+v, want 1 batch / 5 done / 0 failed", bs)
+	}
+}
+
+// TestBatchValidation: malformed batches fail whole with a 400 naming
+// the offending item, before any work starts.
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	cases := []struct {
+		name, body, wantFrag string
+	}{
+		{"empty", `{"items":[]}`, "no items"},
+		{"not json", `{`, "unexpected end"},
+		{"bad item", `{"items":[{"workloads":["no-such-workload"]}]}`, "item 0"},
+		{"bad second item", batchBody(t, tinyReq(0))[:0] + `{"items":[` + mustItem(t, tinyReq(0)) + `,{"workloads":[]}]}`, "item 1"},
+		{"negative timeout", `{"items":[` + mustItem(t, tinyReq(0)) + `],"timeout_ms":-5}`, "timeout_ms"},
+	}
+	for _, tc := range cases {
+		code, data, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs:batch", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+		if !bytes.Contains(data, []byte(tc.wantFrag)) {
+			t.Errorf("%s: error %s does not mention %q", tc.name, data, tc.wantFrag)
+		}
+	}
+
+	// Oversized batches bounce on the count alone.
+	items := make([]string, maxBatchItems+1)
+	for i := range items {
+		items[i] = mustItem(t, tinyReq(i))
+	}
+	code, data, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs:batch",
+		`{"items":[`+strings.Join(items, ",")+`]}`)
+	if code != http.StatusBadRequest || !bytes.Contains(data, []byte("max")) {
+		t.Errorf("oversized batch: %d %s, want 400 naming the cap", code, data)
+	}
+}
+
+func mustItem(t *testing.T, r sim.Request) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestCacheEndpoint: /v1/cache/{addr} serves the raw content-addressed
+// entry after a simulation, 404s on unknown or malformed addresses, and
+// the key round-trips through DecodeCacheEntry.
+func TestCacheEndpoint(t *testing.T) {
+	svc := sim.NewService(sim.Options{CacheDir: t.TempDir()})
+	s := New(svc, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := tinyReq(0)
+	code, _, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/simulate", mustItem(t, req))
+	if code != http.StatusOK {
+		t.Fatalf("simulate: %d", code)
+	}
+	addr := sim.CacheAddr(req.Key())
+	code, data, hdr := doJSON(t, http.MethodGet, ts.URL+"/v1/cache/"+addr, "")
+	if code != http.StatusOK {
+		t.Fatalf("cache get: %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if _, ok := sim.DecodeCacheEntry(data, req.Key()); !ok {
+		t.Error("served entry fails verification against its key")
+	}
+	for _, bad := range []string{strings.Repeat("0", 64), "shortaddr", "../escape"} {
+		code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/cache/"+bad, "")
+		if code != http.StatusNotFound {
+			t.Errorf("GET /v1/cache/%s = %d, want 404", bad, code)
+		}
+	}
+}
+
+// TestStatsEndpoint: /v1/stats reports readiness, job counters, batch
+// counters, and the sim cache/dedup counters the router aggregates.
+func TestStatsEndpoint(t *testing.T) {
+	svc := sim.NewService(sim.Options{})
+	s := New(svc, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ { // same key twice: 1 simulated + 1 memo hit
+		if code, data, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/simulate", mustItem(t, tinyReq(0))); code != http.StatusOK {
+			t.Fatalf("simulate %d: %d %s", i, code, data)
+		}
+	}
+	code, data, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var view struct {
+		Ready    bool      `json:"ready"`
+		Draining bool      `json:"draining"`
+		Sim      sim.Stats `json:"sim"`
+		Jobs     struct {
+			Submitted uint64 `json:"submitted"`
+		} `json:"jobs"`
+		Batch struct {
+			Batches uint64 `json:"batches"`
+		} `json:"batch"`
+	}
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatalf("decoding stats: %v (%s)", err, data)
+	}
+	if !view.Ready || view.Draining {
+		t.Errorf("fresh server stats: ready=%t draining=%t", view.Ready, view.Draining)
+	}
+	if view.Sim.Simulated != 1 || view.Sim.MemoHits != 1 {
+		t.Errorf("sim counters = %+v, want 1 simulated + 1 memo hit", view.Sim)
+	}
+}
+
+// TestReadyzQueueSaturation: readiness (not liveness) flips 503 when the
+// admission queue is full, and recovers as the queue drains.
+func TestReadyzQueueSaturation(t *testing.T) {
+	stub, started, release := gatedStub()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, stub)
+
+	expectReady := func(want int, when string) {
+		t.Helper()
+		code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
+		if code != want {
+			t.Errorf("readyz %s = %d, want %d", when, code, want)
+		}
+	}
+	expectReady(http.StatusOK, "on a fresh server")
+
+	// One job runs (occupying the worker), one sits queued: the queue is
+	// full and readiness must flip.
+	for i := 0; i < 2; i++ {
+		code, data, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+			fmt.Sprintf(`{"workloads":["vadd"],"scale":"test","cores":4,"maxcycles":%d}`, 20_000_000+i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, data)
+		}
+	}
+	<-started
+	expectReady(http.StatusServiceUnavailable, "with a saturated queue")
+	// Liveness stays green the whole time.
+	if code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", ""); code != http.StatusOK {
+		t.Errorf("healthz = %d during saturation, want 200", code)
+	}
+	close(release)
+	deadline := 200
+	for ; deadline > 0; deadline-- {
+		code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
+		if code == http.StatusOK {
+			break
+		}
+	}
+	if deadline == 0 {
+		t.Error("readyz never recovered after the queue drained")
+	}
+}

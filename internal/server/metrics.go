@@ -74,13 +74,25 @@ func formatBound(v float64) string {
 // writeMetrics renders the full /metrics payload: job lifecycle counters
 // and gauges from the Manager, request-satisfaction counters from the
 // sim.Service, and the per-job simulated-cycle histogram.
-func writeMetrics(w io.Writer, ms managerStats, ss sim.Stats, tickWorkers int, cycles *histogram) {
+func writeMetrics(w io.Writer, ms managerStats, ss sim.Stats, bs batchView, ready bool, tickWorkers int, cycles *histogram) {
 	gauge := func(name, help string, v int) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+
+	readyVal := 0
+	if ready {
+		readyVal = 1
+	}
+	gauge("gpuschedd_ready", "Readiness (1 = accepting new work; 0 while draining or the admission queue is saturated).", readyVal)
+
+	counter("gpuschedd_batches_total", "Synchronous batches accepted on /v1/jobs:batch.", bs.Batches)
+	fmt.Fprintf(w, "# HELP gpuschedd_batch_items_total Batch items completed, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE gpuschedd_batch_items_total counter\n")
+	fmt.Fprintf(w, "gpuschedd_batch_items_total{outcome=\"done\"} %d\n", bs.ItemsDone)
+	fmt.Fprintf(w, "gpuschedd_batch_items_total{outcome=\"failed\"} %d\n", bs.ItemsFailed)
 
 	counter("gpuschedd_jobs_submitted_total", "Jobs accepted into the admission queue.", ms.Submitted)
 	counter("gpuschedd_jobs_rejected_total", "Submissions rejected because the admission queue was full.", ms.Rejected)
@@ -105,6 +117,8 @@ func writeMetrics(w io.Writer, ms managerStats, ss sim.Stats, tickWorkers int, c
 	counter("gpuschedd_sim_simulated_total", "Actual simulator executions.", uint64(ss.Simulated))
 	counter("gpuschedd_sim_memo_hits_total", "Requests coalesced into or satisfied by an in-memory flight.", uint64(ss.MemoHits))
 	counter("gpuschedd_sim_disk_hits_total", "Requests satisfied by the on-disk result cache.", uint64(ss.DiskHits))
+	counter("gpuschedd_sim_peer_hits_total", "Requests satisfied by a fleet peer's cache (fetch-before-simulate).", uint64(ss.PeerHits))
+	counter("gpuschedd_simcache_evictions_total", "On-disk cache entries evicted by the entry/byte budget.", uint64(ss.DiskEvictions))
 	counter("gpuschedd_sim_flights_evicted_total", "Completed flights evicted from the in-memory memo.", uint64(ss.Evicted))
 	counter("gpuschedd_sim_cycles_total", "Simulated cycles produced by the cycle loop.", ss.SimCycles)
 	fmt.Fprintf(w, "# HELP gpuschedd_sim_wall_seconds_total Wall-clock seconds spent inside the cycle loop.\n")

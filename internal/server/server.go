@@ -11,9 +11,13 @@
 //	GET    /v1/jobs/{id}        job status; includes the outcome once done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events SSE lifecycle stream (queued/running/terminal)
+//	POST   /v1/jobs:batch       synchronous batch; streams per-item completion as NDJSON
 //	POST   /v1/simulate         synchronous simulation for small requests
+//	GET    /v1/cache/{addr}     content-addressed cache entry (peer-cache protocol)
+//	GET    /v1/stats            JSON stats snapshot (router aggregation, load tests)
 //	GET    /v1/workloads        the workload suite, with class metadata
-//	GET    /healthz             liveness; 503 once draining
+//	GET    /healthz             liveness; 200 for the life of the process
+//	GET    /readyz              readiness; 503 while draining or the queue is saturated
 //	GET    /metrics             Prometheus text format
 //
 // Request bodies are the flat sim.Request wire form (see internal/sim's
@@ -63,6 +67,29 @@ type Server struct {
 	mux      *http.ServeMux
 	cfg      Config
 	draining atomic.Bool
+	batch    batchCounters
+}
+
+// batchCounters tracks the synchronous batch endpoint.
+type batchCounters struct {
+	batches     atomic.Uint64
+	itemsDone   atomic.Uint64
+	itemsFailed atomic.Uint64
+}
+
+// batchView is the JSON/metrics snapshot of the batch counters.
+type batchView struct {
+	Batches     uint64 `json:"batches"`
+	ItemsDone   uint64 `json:"items_done"`
+	ItemsFailed uint64 `json:"items_failed"`
+}
+
+func (s *Server) batchStats() batchView {
+	return batchView{
+		Batches:     s.batch.batches.Load(),
+		ItemsDone:   s.batch.itemsDone.Load(),
+		ItemsFailed: s.batch.itemsFailed.Load(),
+	}
 }
 
 // New builds a Server (and starts its job runners) over svc.
@@ -77,9 +104,13 @@ func New(svc *sim.Service, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/cache/{addr}", s.handleCacheGet)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
@@ -239,15 +270,102 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
 }
 
+// handleHealth is liveness: 200 for the life of the process, even while
+// draining. A fleet router must keep /v1/jobs/{id} queries flowing to a
+// draining shard (its in-flight jobs finish there); only *readiness*
+// flips, steering new work away.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// Ready reports whether the shard should receive new work, and why not.
+// Not ready while draining (SIGTERM arrived, admission is closing) and
+// while the admission queue is saturated (a 429 is the likely answer, so
+// the router should prefer a sibling).
+func (s *Server) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	st := s.jobs.stats()
+	if st.QueueDepth >= st.QueueCap {
+		return false, "queue_saturated"
+	}
+	return true, "ok"
+}
+
+// handleReady is readiness: the signal health probes and routers act on.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ok, reason := s.Ready()
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": reason})
+}
+
+// handleCacheGet serves one content-addressed result-cache entry — the
+// peer-cache protocol. The response is the raw on-disk entry (version,
+// canonical key, outcome); the fetching peer verifies it against the key
+// it wanted, so a stale or corrupt entry degrades to a miss on its side.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	addr := r.PathValue("addr")
+	data, ok := s.svc.CacheEntryBytes(addr)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no cache entry %q", addr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // best-effort cache protocol
+}
+
+// statsView is the JSON shape of GET /v1/stats: everything a router or a
+// load harness needs to aggregate fleet behaviour without parsing the
+// Prometheus text form.
+type statsView struct {
+	Ready    bool      `json:"ready"`
+	Draining bool      `json:"draining"`
+	Jobs     jobsStats `json:"jobs"`
+	Batch    batchView `json:"batch"`
+	Sim      sim.Stats `json:"sim"`
+}
+
+// jobsStats is the JSON rendering of the Manager's counters.
+type jobsStats struct {
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_capacity"`
+	Tracked    int    `json:"tracked"`
+	Submitted  uint64 `json:"submitted"`
+	Rejected   uint64 `json:"rejected"`
+	Done       uint64 `json:"done"`
+	Failed     uint64 `json:"failed"`
+	Canceled   uint64 `json:"canceled"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ready, _ := s.Ready()
+	ms := s.jobs.stats()
+	writeJSON(w, http.StatusOK, statsView{
+		Ready:    ready,
+		Draining: s.draining.Load(),
+		Jobs: jobsStats{
+			Queued: ms.Queued, Running: ms.Running,
+			QueueDepth: ms.QueueDepth, QueueCap: ms.QueueCap,
+			Tracked: ms.Tracked, Submitted: ms.Submitted, Rejected: ms.Rejected,
+			Done: ms.Done, Failed: ms.Failed, Canceled: ms.Canceled,
+		},
+		Batch: s.batchStats(),
+		Sim:   s.svc.Stats(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, s.jobs.stats(), s.svc.Stats(), s.svc.TickWorkers(), s.jobs.cycles)
+	ready, _ := s.Ready()
+	writeMetrics(w, s.jobs.stats(), s.svc.Stats(), s.batchStats(), ready, s.svc.TickWorkers(), s.jobs.cycles)
 }

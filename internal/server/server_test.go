@@ -421,7 +421,8 @@ func TestSSEEventOrdering(t *testing.T) {
 	}
 }
 
-// TestGracefulShutdownDrains: Shutdown must flip health to draining,
+// TestGracefulShutdownDrains: Shutdown must flip readiness to draining
+// (while liveness stays 200 so routers keep status queries flowing),
 // refuse new jobs with 503, and wait for in-flight jobs to finish.
 func TestGracefulShutdownDrains(t *testing.T) {
 	stub, started, release := gatedStub()
@@ -436,17 +437,21 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		shutdownErr <- s.Shutdown(ctx)
 	}()
 
-	// Draining is visible before the drain completes.
+	// Draining is visible on readiness before the drain completes, while
+	// liveness stays 200 (draining shards still answer status queries).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+		code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
 		if code == http.StatusServiceUnavailable {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("healthz never reported draining")
+			t.Fatal("readyz never reported draining")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if code, data, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz during drain = %d (%s), want 200: liveness must not flip", code, data)
 	}
 	code, data, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", tinyBody)
 	if code != http.StatusServiceUnavailable || !strings.Contains(string(data), "shutting_down") {

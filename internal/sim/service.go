@@ -26,6 +26,19 @@ type Options struct {
 	// CacheDir, when non-empty, enables the on-disk result cache
 	// (conventionally results/.simcache).
 	CacheDir string
+	// CacheEntries / CacheBytes bound the on-disk cache (0 = unbounded).
+	// When a store pushes the directory over either budget, oldest-mtime
+	// entries are evicted (counted in Stats.DiskEvictions) — a shared
+	// cache tier must not grow forever.
+	CacheEntries int
+	CacheBytes   int64
+	// PeerFetch, when non-nil, is consulted after a local disk miss and
+	// before simulating: a fleet shard points it at its peers' cache
+	// endpoints so a result that moved shards (ring change, failover) is
+	// fetched once instead of resimulated. A fetched outcome is stored in
+	// the local disk cache, migrating the entry to its new owner. The hook
+	// must be best-effort: return ok=false on any doubt.
+	PeerFetch func(ctx context.Context, key string) (Outcome, bool)
 	// Progress, when non-nil, receives one line per completed simulation.
 	// Writes are serialized by the Service, so the writer itself need not
 	// be goroutine-safe and lines never interleave.
@@ -48,6 +61,12 @@ type Stats struct {
 	MemoHits int
 	// DiskHits counts requests satisfied by the on-disk cache.
 	DiskHits int
+	// PeerHits counts requests satisfied by a fleet peer's cache via the
+	// Options.PeerFetch hook (fetch-before-simulate).
+	PeerHits int
+	// DiskEvictions counts on-disk cache entries evicted by the
+	// CacheEntries/CacheBytes budgets.
+	DiskEvictions int
 	// Evicted counts completed flights dropped from the memo by the
 	// MaxFlights cap.
 	Evicted int
@@ -99,9 +118,21 @@ func NewService(opt Options) *Service {
 		flights: make(map[string]*flight),
 	}
 	if opt.CacheDir != "" {
-		s.cache = &diskCache{dir: opt.CacheDir}
+		s.cache = &diskCache{dir: opt.CacheDir, maxEntries: opt.CacheEntries, maxBytes: opt.CacheBytes}
 	}
 	return s
+}
+
+// CacheEntryBytes returns the raw on-disk cache entry for a content
+// address (the hex sha256 of a canonical key, see CacheAddr), or false
+// when no cache is configured, the address is malformed, or the entry is
+// absent. It backs the peer-cache endpoint: the bytes are served verbatim
+// and the fetching peer verifies them against its own key.
+func (s *Service) CacheEntryBytes(addr string) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.loadAddr(addr)
 }
 
 // Run executes (or recalls) one simulation. Errors are per-request: an
@@ -205,6 +236,20 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 			return out, nil
 		}
 	}
+	// Local miss: ask the fleet peers before paying for a simulation. The
+	// fetched entry is stored locally so the key's new owner serves the
+	// next request from its own disk.
+	if s.opt.PeerFetch != nil {
+		if out, ok := s.opt.PeerFetch(ctx, key); ok {
+			s.mu.Lock()
+			s.stats.PeerHits++
+			s.mu.Unlock()
+			if s.cache != nil {
+				s.recordEvictions(s.cache.store(key, out))
+			}
+			return out, nil
+		}
+	}
 
 	// Bound concurrent simulations; give up the wait on cancellation.
 	select {
@@ -249,7 +294,17 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 		s.progressMu.Unlock()
 	}
 	if s.cache != nil {
-		s.cache.store(key, out)
+		s.recordEvictions(s.cache.store(key, out))
 	}
 	return out, nil
+}
+
+// recordEvictions folds a store's eviction count into the stats.
+func (s *Service) recordEvictions(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.stats.DiskEvictions += n
+	s.mu.Unlock()
 }
