@@ -38,11 +38,13 @@ ci: lint
 # fixed 20-iteration count because a single ~10ms run drifts ~20% between
 # otherwise identical invocations (the stencil number was recorded at ~300k
 # simcycles/s in one run and 249k in the committed BENCH_3.json for exactly
-# this reason).
+# this reason). BENCH_OUT is overridable so a new baseline generation never
+# silently overwrites (or keeps re-targeting) an old one.
+BENCH_OUT ?= results/BENCH_8.json
 bench:
 	go test -run='^$$' -bench 'Fig5|Fig8|Fig14' -benchtime=1x -benchmem . | tee /tmp/gpusched_bench.out
 	go test -run='^$$' -bench 'SimulatorThroughput|ParallelTick' -benchtime=20x -benchmem . | tee -a /tmp/gpusched_bench.out
-	go run ./cmd/benchjson -out results/BENCH_6.json < /tmp/gpusched_bench.out
+	go run ./cmd/benchjson -out $(BENCH_OUT) < /tmp/gpusched_bench.out
 
 # One benchmark per reproduced table/figure plus microbenchmarks.
 bench-all:

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,7 @@ goarch: amd64
 BenchmarkSimulatorThroughput/stall-heavy-8         	      20	   4000000 ns/op	  14000000 simcycles/s
 BenchmarkSimulatorThroughput/stall-heavy-8         	      20	   2000000 ns/op	  10000000 simcycles/s
 BenchmarkFig5LCS-8                                 	       1	 900000000 ns/op	     1.15 geomean-speedup	  360338 B/op	    3151 allocs/op
+BenchmarkParallelTick/stall-heavy/workers=8-8      	      20	   5000000 ns/op	   9000000 simcycles/s
 PASS
 ok  	gpusched	1.234s
 `
@@ -35,36 +37,138 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestEmitRecordsHost(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := run(path, false, nil, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Host == nil || rec.Host.NumCPU <= 0 || rec.Host.GOMAXPROCS <= 0 {
+		t.Errorf("host info not recorded: %+v", rec.Host)
+	}
+}
+
 func TestRoundTripAndCompare(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")
 	newPath := filepath.Join(dir, "new.json")
-	if err := run(oldPath, false, nil, strings.NewReader(sample), nil); err != nil {
+	if err := run(oldPath, false, nil, nil, strings.NewReader(sample), nil); err != nil {
 		t.Fatal(err)
 	}
 	faster := strings.ReplaceAll(sample, "4000000 ns/op", "1000000 ns/op")
 	faster = strings.ReplaceAll(faster, "2000000 ns/op", "1000000 ns/op")
-	if err := run(newPath, false, nil, strings.NewReader(faster), nil); err != nil {
+	if err := run(newPath, false, nil, nil, strings.NewReader(faster), nil); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run("", true, []string{oldPath, newPath}, nil, &buf); err != nil {
+	if err := run("", true, nil, []string{oldPath, newPath}, nil, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "SimulatorThroughput/stall-heavy") || !strings.Contains(out, "-66.67%") {
 		t.Errorf("comparison missing expected delta:\n%s", out)
 	}
+	// Same host on both sides: the worker-scaling row must be compared.
+	if !strings.Contains(out, "ParallelTick") {
+		t.Errorf("same-host compare dropped worker-scaling row:\n%s", out)
+	}
+}
+
+// rewriteHostCPUs loads a record, overrides its host CPU count, and writes
+// it back — simulating a baseline captured on a different machine.
+func rewriteHostCPUs(t *testing.T, path string, cpus int) {
+	t.Helper()
+	rec, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Host.NumCPU = cpus
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSkipsWorkerScalingAcrossHosts(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := run(oldPath, false, nil, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(newPath, false, nil, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	rewriteHostCPUs(t, oldPath, 1024) // no host has 1024 CPUs in this test
+	var buf bytes.Buffer
+	if err := run("", true, nil, []string{oldPath, newPath}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NOTE: host core counts differ") {
+		t.Errorf("missing host-mismatch note:\n%s", out)
+	}
+	if strings.Contains(out, "ParallelTick") && !strings.Contains(out, "skipped") {
+		t.Errorf("worker-scaling row compared across differing hosts:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ParallelTick") {
+			t.Errorf("worker-scaling delta row present despite host mismatch: %q", line)
+		}
+	}
+	// Non-scaling rows must still be compared.
+	if !strings.Contains(out, "SimulatorThroughput/stall-heavy") {
+		t.Errorf("host mismatch dropped non-scaling rows:\n%s", out)
+	}
+}
+
+func TestCompareAsserts(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := run(oldPath, false, nil, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(newPath, false, nil, nil, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ok := []string{"Fig5LCS:allocs/op<=5e6"}
+	if err := run("", true, ok, []string{oldPath, newPath}, nil, &buf); err != nil {
+		t.Fatalf("passing assert failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "assert ok") {
+		t.Errorf("missing assert confirmation:\n%s", buf.String())
+	}
+	bad := []string{"Fig5LCS:allocs/op<=100"}
+	if err := run("", true, bad, []string{oldPath, newPath}, nil, &buf); err == nil {
+		t.Fatal("exceeded threshold did not fail")
+	}
+	missing := []string{"NoSuchBench:allocs/op<=100"}
+	if err := run("", true, missing, []string{oldPath, newPath}, nil, &buf); err == nil {
+		t.Fatal("missing benchmark did not fail the assert")
+	}
+	malformed := []string{"Fig5LCS allocs"}
+	if err := run("", true, malformed, []string{oldPath, newPath}, nil, &buf); err == nil {
+		t.Fatal("malformed assert accepted")
+	}
 }
 
 func TestCompareMissingBaseline(t *testing.T) {
 	dir := t.TempDir()
 	newPath := filepath.Join(dir, "new.json")
-	if err := run(newPath, false, nil, strings.NewReader(sample), nil); err != nil {
+	if err := run(newPath, false, nil, nil, strings.NewReader(sample), nil); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	err := run("", true, []string{filepath.Join(dir, "absent.json"), newPath}, nil, &buf)
+	err := run("", true, nil, []string{filepath.Join(dir, "absent.json"), newPath}, nil, &buf)
 	if err != nil {
 		t.Fatalf("missing baseline must not fail CI: %v", err)
 	}
@@ -73,5 +177,11 @@ func TestCompareMissingBaseline(t *testing.T) {
 	}
 	if _, statErr := os.Stat(newPath); statErr != nil {
 		t.Fatal(statErr)
+	}
+	// Asserts still run against the new record even without a baseline.
+	var buf2 bytes.Buffer
+	bad := []string{"Fig5LCS:allocs/op<=100"}
+	if err := run("", true, bad, []string{filepath.Join(dir, "absent.json"), newPath}, nil, &buf2); err == nil {
+		t.Fatal("assert skipped when baseline missing")
 	}
 }

@@ -123,6 +123,11 @@ type Config struct {
 	// an execution knob only: results are byte-identical for every worker
 	// count, so it never needs to appear in result caches or comparisons.
 	Workers int
+	// Granule is the activity-set parking threshold in cycles: an SM leaves
+	// the per-cycle tick only when it can prove at least this many quiet
+	// cycles ahead (0 = the built-in default). Execution knob only, like
+	// Workers: results are byte-identical for every granule.
+	Granule uint64
 
 	// Advanced knobs. Nil fields keep Fermi-class defaults.
 	SM  *SMConfig
@@ -165,6 +170,7 @@ func (c Config) build() gpu.Config {
 		g.MaxCycles = c.MaxCycles
 	}
 	g.Workers = c.Workers
+	g.Granule = c.Granule
 	return g
 }
 

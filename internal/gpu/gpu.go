@@ -39,6 +39,15 @@ type Config struct {
 	// byte-identical for every value (the golden determinism tests diff
 	// worker counts against each other), so it never enters a cache key.
 	Workers int
+	// Granule is the minimum provably-quiet window, in cycles, an SM must
+	// have ahead of it before its shard parks it in the activity set's wake
+	// heap (0 means DefaultGranule). A parked SM is skipped without being
+	// visited until its wake cycle; the skipped cycles' ActiveCycles and
+	// stall counters are replayed in one FastForward when it next runs.
+	// Like Workers it is execution-only: parking is semantically inert, so
+	// results are byte-identical for every granule (the golden determinism
+	// tests sweep it) and it never enters a cache key.
+	Granule uint64
 }
 
 // ResolveWorkers maps a Config.Workers value to the machine-derived worker
@@ -68,6 +77,21 @@ func (c *Config) resolveWorkers() int {
 // DefaultMaxCycles is the runaway-simulation cap applied when
 // Config.MaxCycles is zero — the single definition every layer shares.
 const DefaultMaxCycles uint64 = 20_000_000
+
+// DefaultGranule is the parking threshold applied when Config.Granule is
+// zero: an SM leaves the activity set only when it can prove at least this
+// many quiet cycles ahead. Small enough that short stalls still park, large
+// enough that an SM bouncing on 1–2 cycle hazards stays on the active list
+// instead of churning the wake heap.
+const DefaultGranule uint64 = 4
+
+// resolveGranule maps Config.Granule to the effective parking threshold.
+func (c *Config) resolveGranule() uint64 {
+	if c.Granule == 0 {
+		return DefaultGranule
+	}
+	return c.Granule
+}
 
 // DefaultConfig returns the Fermi-class (GTX480 ballpark) GPU used by the
 // paper-reproduction experiments: 15 SMs, 2 schedulers each, 6 memory
@@ -155,6 +179,21 @@ type GPU struct {
 	// vanishing probe overhead while stall phases skip at full fidelity.
 	ffNextTry uint64
 	ffBackoff uint64
+	// activity tracks which SMs have ready work this cycle (built by
+	// RunContext, nil before). Sleeping SMs are skipped by phase A entirely;
+	// wakeCore is the only way back in.
+	activity *parexec.ActivitySet
+	// probeAt[i]/probeBO[i] throttle core i's sleep probes, mirroring
+	// ffNextTry/ffBackoff: an SM that stalls without being parkable doubles
+	// the wait before its next NextEvent probe, and a successful park resets
+	// it. Written only by the shard that owns core i during phase A.
+	probeAt []uint64
+	probeBO []uint64
+	// postTick is true between phase A and the end of the cycle (commits and
+	// the memory tick). wakeCore uses it to pick the sync boundary: once
+	// phase A has run, a sleeping core provably accounts for the current
+	// cycle too, and cannot tick again before the next one.
+	postTick bool
 }
 
 // New builds a GPU running specs (in launch order) under dispatcher d.
@@ -198,8 +237,58 @@ func New(cfg Config, d core.Dispatcher, specs ...*kernel.Spec) (*GPU, error) {
 		g.coreCfgs[i] = cfg.Core // per-SM copy: SetWarpPolicy is per core
 		g.cores[i] = sm.New(i, &g.coreCfgs[i], g.memsys, len(specs), g.onCTADone)
 		g.cores[i].SetDrainHandler(g.onCTADrained)
+		g.cores[i].SetWakeHandler(g.wakeCore)
 	}
+	g.memsys.SetResponseHook(g.wakeCore)
 	return g, nil
+}
+
+// wakeCore is the single wake funnel: the SMs' pre-mutation notification
+// (AddCTA, and Preempt below) and the memory system's response-delivery hook
+// both land here, always in a serial phase. It settles the target core's
+// lazily-accrued counters up to the current stage boundary — callers invoke
+// it *before* mutating the core, while the parked window is still provably
+// quiet — then lowers the core's wake bound so the skipped SM rejoins
+// phase A in time. Waking an active core is a harmless no-op.
+func (g *GPU) wakeCore(coreID int, at uint64) {
+	sync, wake := at, at
+	if g.postTick {
+		// Phase A for cycle g.now already ran: the core either ticked this
+		// cycle or slept through it (its wake bound is beyond g.now), so
+		// cycle g.now is provably accounted for — settle through it while
+		// that proof still holds, and wake no earlier than the next cycle.
+		sync = g.now + 1
+		if wake <= g.now {
+			wake = g.now + 1
+		}
+	}
+	g.cores[coreID].SyncTo(sync)
+	if g.activity != nil {
+		g.activity.Wake(coreID, wake)
+	}
+}
+
+// syncAllTo settles every core's lazily-accrued counters through cycle t
+// (exclusive) — the serial-phase barrier before any consumer that may read a
+// sleeping core's Stats: the dispatcher when it is due to act, commit
+// callbacks, the epoch hook, and final collection. Cores already synced past
+// t are untouched.
+func (g *GPU) syncAllTo(t uint64) {
+	for _, c := range g.cores {
+		c.SyncTo(t)
+	}
+}
+
+// havePendingCommits reports whether any core recorded a retirement or drain
+// eviction this cycle — the trigger for settling sleepers before the commit
+// callbacks (observer, dispatcher probes) run.
+func (g *GPU) havePendingCommits() bool {
+	for c := range g.pendingRetire {
+		if len(g.pendingRetire[c]) > 0 || len(g.pendingPreempt[c]) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SetObserver registers an experiment probe called on every CTA retirement
@@ -257,6 +346,10 @@ func (g *GPU) Preempt(coreID int, cta *sm.CTA) bool {
 	if coreID < 0 || coreID >= len(g.cores) {
 		return false
 	}
+	// Settle and wake before the drain flag lands: the drain changes what a
+	// replayed stall window would look like, so the window must close first.
+	// If the request is refused the spurious wake costs one visit.
+	g.wakeCore(coreID, g.now)
 	return g.cores[coreID].DrainCTA(cta)
 }
 
@@ -359,28 +452,53 @@ func (g *GPU) Run() Result {
 // that cancellation lands within microseconds of wall time.
 const ctxCheckInterval = 4096
 
+// parallelMinRunnable is the smallest phase-A population worth a barrier
+// crossing: below it the shards run inline on the caller's goroutine (same
+// shard split, same visit order within a shard, so results are unchanged).
+// A stall phase with one or two live SMs must not pay a park/wake round trip
+// per cycle just because eight workers were configured.
+const parallelMinRunnable = 6
+
+// maxProbeBackoff bounds the per-SM sleep-probe backoff (see probeAt/probeBO
+// on GPU), for the same reason maxFFBackoff bounds the global one: when a
+// busy phase ends, the SM must start parking again within a few dozen cycles.
+const maxProbeBackoff = 64
+
 // RunContext is Run with cooperative cancellation: when ctx is canceled
 // the cycle loop stops mid-flight and the context's error is returned
 // alongside the partial result.
 //
-// Each cycle is two phases. Phase A ticks the SMs — concurrently over a
-// persistent worker pool when Config.Workers allows, serially otherwise;
-// either way each SM confines itself to core-private state (its pipeline,
-// its L1, its staging slot in the memory system, its retirement list).
-// Phase B is always serial: CTA retirements replay in core-index order,
-// then the memory system commits the staged traffic and ticks. The
-// committed state is a pure function of the request, independent of worker
-// count and interleaving (the golden determinism tests diff worker counts
-// byte-for-byte).
+// Each cycle is two phases. Phase A ticks the SMs with ready work —
+// concurrently over a persistent worker pool when Config.Workers allows and
+// enough SMs are runnable, serially otherwise; either way each SM confines
+// itself to core-private state (its pipeline, its L1, its staging slot in
+// the memory system, its retirement list). Phase B is always serial: CTA
+// retirements replay in core-index order, then the memory system commits the
+// staged traffic and ticks. The committed state is a pure function of the
+// request, independent of worker count and interleaving (the golden
+// determinism tests diff worker counts byte-for-byte).
+//
+// Which SMs have ready work is tracked by an activity set (parexec): after
+// ticking, an SM that issued nothing and can prove at least Granule quiet
+// cycles ahead parks in its shard's wake heap and is skipped — not visited
+// at all — until its wake cycle arrives or an external event (CTA placement,
+// drain request, memory response) lowers its bound through wakeCore. The
+// skipped cycles' ActiveCycles and stall counters accrue lazily: each SM
+// carries a synced-through watermark and replays the gap in one FastForward
+// the next time it runs (or when a serial-phase reader forces syncAllTo).
+// Parking is semantically inert — the park/wake decisions are pure per-SM
+// functions — so results are byte-identical for every granule; the golden
+// determinism tests sweep granules and worker counts against each other.
 //
 // The loop runs cycle-by-cycle while anything happens. After a cycle in
 // which no CTA was placed or retired and no instruction issued, it asks
 // every component for its event horizon — the earliest future cycle at
-// which it can act — and jumps straight there, accruing the skipped
-// cycles' stall counters through SM.FastForward. The jump is exact, not
-// approximate: every NextEvent bound is conservative and the skipped
-// window is provably frozen, so results are bit-identical to the
-// reference loop (Config.DisableFastForward selects it; the golden
+// which it can act — and jumps straight there. Sleeping SMs contribute
+// their wake bounds through the activity set's heap minimum instead of
+// being probed individually, so the probe cost scales with the live set.
+// The jump is exact, not approximate: every NextEvent bound is conservative
+// and the skipped window is provably frozen, so results are bit-identical
+// to the reference loop (Config.DisableFastForward selects it; the golden
 // determinism tests diff the two). Horizon probes always run serially, on
 // the fully merged post-commit state.
 func (g *GPU) RunContext(ctx context.Context) (Result, error) {
@@ -392,45 +510,97 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	if g.cfg.DisableFastForward {
 		ff = nil
 	}
+	// Parking rides on the same proof machinery as fast-forward: without a
+	// FastForwarder the quiet-window replay has no dispatcher bound, so the
+	// reference configuration keeps every SM in the active set permanently.
+	sleepOK := ff != nil
+	granule := g.cfg.resolveGranule()
+	workers := g.cfg.resolveWorkers()
+	as := parexec.NewActivitySet(len(g.cores), workers)
+	g.activity = as
+	g.probeAt = make([]uint64, len(g.cores))
+	g.probeBO = make([]uint64, len(g.cores))
+	// visit ticks one SM for the current cycle and returns its next wake
+	// bound: <= now+1 keeps it active, anything later parks it. It runs on
+	// phase-A workers but touches only core i's private state (the probe
+	// throttle arrays are per-core, the response pipe is core-private, and
+	// g.now is ordered by the pool's release/join edges).
+	visit := func(i int) uint64 {
+		c := g.cores[i]
+		before := c.Stats.InstrIssued
+		now := g.now
+		c.Tick(now)
+		if !sleepOK || c.Stats.InstrIssued != before || now < g.probeAt[i] {
+			return 0 // issued or probe-throttled: stay active
+		}
+		// The SM stalled this cycle; ask whether the stall provably extends
+		// a full granule. Its own bound covers pipeline and L1/LDST state;
+		// the response pipe bound covers replies already in flight toward it
+		// (later deliveries wake it through the response hook).
+		wake := c.NextEvent(now + 1)
+		if rv := g.memsys.ResponseNextReady(i); rv < wake {
+			wake = rv
+		}
+		if wake >= now+1+granule {
+			g.probeAt[i], g.probeBO[i] = 0, 0
+			return wake
+		}
+		if g.probeBO[i] < maxProbeBackoff {
+			g.probeBO[i] = max2(2*g.probeBO[i], 2)
+		}
+		g.probeAt[i] = now + g.probeBO[i]
+		return 0
+	}
+	tickShard := func(shard int) { as.TickShard(shard, g.now, visit) }
 	var pool *parexec.Pool
-	var tickShard func(shard int)
-	if workers := g.cfg.resolveWorkers(); workers > 1 {
+	if workers > 1 {
 		pool = parexec.New(workers)
 		defer pool.Close()
-		n := len(g.cores)
-		// One closure for the whole run: it reads g.now afresh each cycle,
-		// and the pool's release/join edges order that read against the
-		// serial phases.
-		tickShard = func(shard int) {
-			now := g.now
-			for i := shard * n / workers; i < (shard+1)*n/workers; i++ {
-				g.cores[i].Tick(now)
-			}
-		}
 	}
 	done := ctx.Done()
 	for g.doneCount < len(g.kernels) && g.now < maxCycles {
 		if done != nil && g.now%ctxCheckInterval == 0 {
 			select { //gpulint:allow nogoroutine cancellation poll only aborts the run; a canceled simulation returns an error and is never cached or reported
 			case <-done:
+				g.syncAllTo(g.now)
 				return g.collect(), ctx.Err()
 			default:
 			}
 		}
 		if g.epochFn != nil && g.now%g.epochEvery == 0 {
+			if as.Sleeping() > 0 {
+				g.syncAllTo(g.now) // the hook may read any core's counters
+			}
 			g.epochFn(g.now)
 		}
 		dispatched := g.dispatchedCTAs()
 		issued := g.issuedTotal()
 		g.ctaEvent = false
 		g.admitArrivals()
+		if sleepOK && as.Sleeping() > 0 && ff.NextDispatchEvent(g.now) <= g.now {
+			// The dispatcher acts this cycle and may read per-core counters
+			// (DynCTA's epoch adjustment does); settle the sleepers first.
+			// Every sleeper's wake bound is beyond the last ticked cycle, so
+			// the replayed window is provably quiet.
+			g.syncAllTo(g.now)
+		}
 		g.dispatcher.Tick(g)
-		if pool != nil {
+		if pool != nil && as.Runnable(g.now) >= parallelMinRunnable {
 			pool.Run(tickShard)
 		} else {
-			for _, c := range g.cores {
-				c.Tick(g.now)
+			// Inline phase A: same shards, same order, no barrier. This is
+			// the common path late in a run and in deep stall phases, where
+			// one or two live SMs don't amortize a pool release/join.
+			for s := 0; s < as.Shards(); s++ {
+				as.TickShard(s, g.now, visit)
 			}
+		}
+		g.postTick = true
+		if as.Sleeping() > 0 && g.havePendingCommits() {
+			// Commit callbacks (the observer, dispatcher probes) may read
+			// any core's counters; settle sleepers through this cycle —
+			// phase A just proved they slept through it.
+			g.syncAllTo(g.now + 1)
 		}
 		g.commitRetirements()
 		g.commitPreemptions()
@@ -438,6 +608,7 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 		idle := ff != nil && !g.ctaEvent &&
 			g.dispatchedCTAs() == dispatched && g.issuedTotal() == issued
 		g.now++
+		g.postTick = false
 		if idle && g.now >= g.ffNextTry {
 			if skipped := g.fastForward(ff, done != nil, maxCycles); skipped == 0 {
 				if g.ffBackoff < maxFFBackoff {
@@ -449,6 +620,7 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 			}
 		}
 	}
+	g.syncAllTo(g.now)
 	return g.collect(), nil
 }
 
@@ -512,16 +684,26 @@ func (g *GPU) fastForward(ff core.FastForwarder, clampCtx bool, maxCycles uint64
 	if ev := g.memsys.NextEvent(from); ev < horizon {
 		horizon = ev
 	}
+	// Sleeping SMs contribute through the activity set's heap minimum — one
+	// comparison for the whole parked population instead of a NextEvent probe
+	// each. A sleeper's bound can only move earlier through wakeCore, which
+	// runs in serial phases, so the heap is current here.
+	if hv := g.activity.Horizon(); hv < horizon {
+		horizon = hv
+	}
 	if horizon <= from {
 		return 0
 	}
-	for _, c := range g.cores {
-		if ev := c.NextEvent(from); ev < horizon {
+	stop := false
+	g.activity.Actives(func(i int) bool {
+		if ev := g.cores[i].NextEvent(from); ev < horizon {
 			horizon = ev
 		}
-		if horizon <= from {
-			return 0
-		}
+		stop = horizon <= from
+		return !stop
+	})
+	if stop {
+		return 0
 	}
 	if horizon > maxCycles {
 		horizon = maxCycles
@@ -535,9 +717,13 @@ func (g *GPU) fastForward(ff core.FastForwarder, clampCtx bool, maxCycles uint64
 	if horizon <= from {
 		return 0
 	}
-	for _, c := range g.cores {
-		c.FastForward(from, horizon)
-	}
+	// Only the live set accrues eagerly; sleepers stay lazy (their watermark
+	// replay covers the same window when they next run). The horizon never
+	// reaches a sleeper's wake cycle, so no parked SM oversleeps the jump.
+	g.activity.Actives(func(i int) bool {
+		g.cores[i].SyncTo(horizon)
+		return true
+	})
 	g.now = horizon
 	return horizon - from
 }

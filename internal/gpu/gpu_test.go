@@ -296,10 +296,12 @@ func TestTimeoutReported(t *testing.T) {
 
 // TestWorkerCountInvariance is the package-level statement of the parallel
 // tick's contract: the committed Result is a pure function of the request,
-// whatever Config.Workers says (the harness golden tests restate this over
-// every experiment and full Result rendering). Worker counts above
-// GOMAXPROCS are included deliberately — oversubscription changes the
-// interleaving as violently as extra cores do.
+// whatever Config.Workers and Config.Granule say (the harness golden tests
+// restate this over every experiment and full Result rendering). Worker
+// counts above GOMAXPROCS are included deliberately — oversubscription
+// changes the interleaving as violently as extra cores do — and each count
+// is crossed with a different parking granule so shard boundaries and
+// park/wake cycles shift together.
 func TestWorkerCountInvariance(t *testing.T) {
 	for _, name := range []string{"stencil", "spmv"} {
 		w, _ := workloads.ByName(name)
@@ -311,30 +313,59 @@ func TestWorkerCountInvariance(t *testing.T) {
 			cfg.Workers = 1
 			base := mustRun(t, cfg, d(), w.Build(workloads.ScaleTest))
 			sched := d().Name()
-			for _, workers := range []int{2, 3, 7} {
+			for _, wc := range []struct {
+				workers int
+				granule uint64
+			}{{2, 1}, {3, 4}, {7, 16}} {
 				cfg := testConfig()
-				cfg.Workers = workers
+				cfg.Workers = wc.workers
+				cfg.Granule = wc.granule
 				r := mustRun(t, cfg, d(), w.Build(workloads.ScaleTest))
 				if !reflect.DeepEqual(r, base) {
-					t.Errorf("%s/%s: Workers=%d diverged from Workers=1:\n%+v\nvs\n%+v",
-						name, sched, workers, r, base)
+					t.Errorf("%s/%s: Workers=%d Granule=%d diverged from Workers=1:\n%+v\nvs\n%+v",
+						name, sched, wc.workers, wc.granule, r, base)
 				}
 			}
 		}
 	}
 }
 
+// TestGranuleInvariance isolates the granule axis: with workers fixed, every
+// parking threshold — including one far beyond any real stall — must commit
+// the same Result as the serial default. DynCTA is used deliberately: its
+// epoch adjustment reads per-core stall counters, so a missing sleeper sync
+// would diverge here before anywhere else.
+func TestGranuleInvariance(t *testing.T) {
+	w, _ := workloads.ByName("spmv")
+	cfg := testConfig()
+	cfg.Workers = 1
+	base := mustRun(t, cfg, core.NewDynCTA(), w.Build(workloads.ScaleTest))
+	for _, granule := range []uint64{1, 16, 4096} {
+		cfg := testConfig()
+		cfg.Workers = 2
+		cfg.Granule = granule
+		r := mustRun(t, cfg, core.NewDynCTA(), w.Build(workloads.ScaleTest))
+		if !reflect.DeepEqual(r, base) {
+			t.Errorf("Granule=%d diverged from serial default:\n%+v\nvs\n%+v", granule, r, base)
+		}
+	}
+}
+
 // TestWorkerCountInvarianceNoFastForward pins the same contract on the
 // reference loop, so a fast-forward interaction cannot mask a phase-A
-// ordering bug (or vice versa).
+// ordering bug (or vice versa). Granule plumbing must be inert here: without
+// a fast-forward proof chain no SM is ever parked.
 func TestWorkerCountInvarianceNoFastForward(t *testing.T) {
 	w, _ := workloads.ByName("stencil")
 	cfg := testConfig()
 	cfg.Workers = 1
 	cfg.DisableFastForward = true
 	base := mustRun(t, cfg, core.NewBCS(), w.Build(workloads.ScaleTest))
-	cfg.Workers = 4
-	if r := mustRun(t, cfg, core.NewBCS(), w.Build(workloads.ScaleTest)); !reflect.DeepEqual(r, base) {
-		t.Errorf("Workers=4 (no FF) diverged from Workers=1:\n%+v\nvs\n%+v", r, base)
+	for _, granule := range []uint64{0, 16} {
+		cfg.Workers = 4
+		cfg.Granule = granule
+		if r := mustRun(t, cfg, core.NewBCS(), w.Build(workloads.ScaleTest)); !reflect.DeepEqual(r, base) {
+			t.Errorf("Workers=4 Granule=%d (no FF) diverged from Workers=1:\n%+v\nvs\n%+v", granule, r, base)
+		}
 	}
 }

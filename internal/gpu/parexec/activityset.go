@@ -1,0 +1,239 @@
+package parexec
+
+// NeverWake is the wake bound meaning "only an external Wake can reactivate
+// the item" — the parexec mirror of sm.NeverEvent / mem.NeverEvent.
+const NeverWake = ^uint64(0)
+
+// ActivitySet tracks which of n items (SMs, in the GPU's use) have ready
+// work this cycle, sharded the same way the two-phase tick shards the cores:
+// shard s owns the contiguous index range [s*n/shards, (s+1)*n/shards). Each
+// shard keeps the items it owns in exactly one of two places:
+//
+//   - its active list: items visited every TickShard call, or
+//   - its wake heap: sleeping items keyed by the cycle they become runnable.
+//
+// Membership is *derived* state — an item's authoritative status is its
+// wakeAt entry (0 = active, otherwise the pending wake cycle), and the list
+// and heap are indexes over it. The heap uses lazy deletion: Wake lowers an
+// item's bound by pushing a second entry, and TickShard/Horizon discard any
+// popped entry whose cycle no longer matches wakeAt. A stale entry can
+// therefore make Horizon conservative (too low), never unsafe (too high).
+//
+// Concurrency discipline (the package's usual carve-out rules): TickShard is
+// the only phase-A entry point and shard s touches only shard s's list,
+// heap, and owned wakeAt entries, so distinct shards may run on distinct
+// workers. Wake, Horizon, Runnable, Sleeping, and Actives touch shared state
+// and must only run in the serial phases, ordered against TickShard by the
+// pool's release/join edges.
+type ActivitySet struct {
+	shards  []activityShard
+	wakeAt  []uint64 // 0 = active; else pending wake cycle (never 0 while asleep)
+	shardOf []int32
+}
+
+// activityShard is one shard's membership state. The trailing pad keeps
+// neighbouring shards' headers off each other's cache lines while phase-A
+// workers mutate them concurrently.
+type activityShard struct {
+	active []int
+	heap   []wakeItem
+	asleep int
+	_      [64]byte
+}
+
+// wakeItem is one heap entry: item idx wants to run at cycle at.
+type wakeItem struct {
+	at  uint64
+	idx int
+}
+
+// NewActivitySet builds a set of n items, all initially active, owned by
+// `shards` shards with the same contiguous split the tick loop uses.
+func NewActivitySet(n, shards int) *ActivitySet {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	a := &ActivitySet{
+		shards:  make([]activityShard, shards),
+		wakeAt:  make([]uint64, n),
+		shardOf: make([]int32, n),
+	}
+	for s := range a.shards {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		sh := &a.shards[s]
+		sh.active = make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			sh.active = append(sh.active, i)
+			a.shardOf[i] = int32(s)
+		}
+	}
+	return a
+}
+
+// Shards returns the shard count.
+func (a *ActivitySet) Shards() int { return len(a.shards) }
+
+// TickShard runs one shard's phase-A step for cycle now: sleeping items
+// whose wake cycle has arrived rejoin the active list, then every active
+// item is visited exactly once. visit returns the item's next wake bound —
+// any value <= now+1 keeps it active; a later cycle (or NeverWake) parks it
+// in the wake heap until that cycle or an external Wake. The bound must be
+// conservative: the item must provably have nothing to do before it.
+//
+//gpulint:hotpath
+func (a *ActivitySet) TickShard(shard int, now uint64, visit func(i int) uint64) {
+	sh := &a.shards[shard]
+	for len(sh.heap) > 0 && sh.heap[0].at <= now {
+		it := heapPop(&sh.heap)
+		if a.wakeAt[it.idx] != it.at {
+			continue // stale: the item re-slept or was woken to another cycle
+		}
+		a.wakeAt[it.idx] = 0
+		sh.asleep--
+		//gpulint:allow hotalloc append reuses the active list's backing array; capacity is bounded by the shard's item count
+		sh.active = append(sh.active, it.idx)
+	}
+	out := sh.active[:0]
+	for _, i := range sh.active {
+		w := visit(i)
+		if w <= now+1 {
+			out = append(out, i)
+			continue
+		}
+		a.wakeAt[i] = w
+		sh.asleep++
+		if w != NeverWake {
+			heapPush(&sh.heap, wakeItem{at: w, idx: i})
+		}
+	}
+	sh.active = out
+}
+
+// Wake lowers item i's wake bound to at (serial phases only): a CTA was
+// placed on a sleeping SM, a drain was requested, or a memory response is
+// in flight toward it. Waking an active item, or waking a sleeper to a later
+// cycle than it already has, is a no-op — Wake can only make an item run
+// sooner, so a spurious call is harmless.
+func (a *ActivitySet) Wake(i int, at uint64) {
+	if at == 0 {
+		at = 1 // cycle-0 wakes cannot exist: items start active at cycle 0
+	}
+	cur := a.wakeAt[i]
+	if cur == 0 || cur <= at {
+		return
+	}
+	a.wakeAt[i] = at
+	sh := &a.shards[a.shardOf[i]]
+	heapPush(&sh.heap, wakeItem{at: at, idx: i})
+}
+
+// Horizon returns the earliest pending wake over every shard's heap —
+// the sleepers' contribution to the global fast-forward horizon. Stale
+// heads are discarded on the way (serial phases only). NeverWake means
+// every sleeping item waits on an external event.
+func (a *ActivitySet) Horizon() uint64 {
+	h := uint64(NeverWake)
+	for s := range a.shards {
+		sh := &a.shards[s]
+		for len(sh.heap) > 0 && a.wakeAt[sh.heap[0].idx] != sh.heap[0].at {
+			heapPop(&sh.heap)
+		}
+		if len(sh.heap) > 0 && sh.heap[0].at < h {
+			h = sh.heap[0].at
+		}
+	}
+	return h
+}
+
+// Runnable returns how many items will be visited by a TickShard pass at
+// cycle now: the active items plus the sleepers whose wake cycle has
+// arrived. It is a cheap pre-barrier estimate (stale heap entries may be
+// counted), used to decide whether a parallel phase A is worth its barrier.
+func (a *ActivitySet) Runnable(now uint64) int {
+	n := 0
+	for s := range a.shards {
+		sh := &a.shards[s]
+		n += len(sh.active)
+		for _, it := range sh.heap {
+			if it.at <= now && a.wakeAt[it.idx] == it.at {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Sleeping returns how many items are currently parked (serial phases only).
+func (a *ActivitySet) Sleeping() int {
+	n := 0
+	for s := range a.shards {
+		n += a.shards[s].asleep
+	}
+	return n
+}
+
+// Actives calls f for every currently-active item, shard by shard, until f
+// returns false (serial phases only). Sleepers due at the current cycle are
+// not included: callers that need them use Horizon, which bounds exactly
+// those items.
+func (a *ActivitySet) Actives(f func(i int) bool) {
+	for s := range a.shards {
+		for _, i := range a.shards[s].active {
+			if !f(i) {
+				return
+			}
+		}
+	}
+}
+
+// ---- binary min-heap over (at, idx) ----
+// Ordered by wake cycle, ties by index, so pop order — and therefore the
+// order items rejoin an active list — is a pure function of the set's
+// contents, independent of insertion history.
+
+func wakeLess(x, y wakeItem) bool {
+	return x.at < y.at || (x.at == y.at && x.idx < y.idx)
+}
+
+//gpulint:hotpath
+func heapPush(h *[]wakeItem, it wakeItem) {
+	*h = append(*h, it)
+	j := len(*h) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if !wakeLess((*h)[j], (*h)[p]) {
+			break
+		}
+		(*h)[j], (*h)[p] = (*h)[p], (*h)[j]
+		j = p
+	}
+}
+
+//gpulint:hotpath
+func heapPop(h *[]wakeItem) wakeItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && wakeLess(s[r], s[l]) {
+			c = r
+		}
+		if !wakeLess(s[c], s[j]) {
+			break
+		}
+		s[j], s[c] = s[c], s[j]
+		j = c
+	}
+	return top
+}

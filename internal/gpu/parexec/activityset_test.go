@@ -1,0 +1,180 @@
+package parexec
+
+import "testing"
+
+// xorshift32 keeps the schedules deterministic across runs and Go versions.
+func xs(s uint32) uint32 {
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	return s
+}
+
+// TestActivitySetNeverDoubleTicksOrSkips drives an ActivitySet against a
+// naive reference model with items entering and leaving the set mid-run:
+// every cycle, each item that is runnable must be visited exactly once and
+// no parked item may be visited at all. Sharding must not change the visit
+// set, only which shard performs it.
+func TestActivitySetNeverDoubleTicksOrSkips(t *testing.T) {
+	const n = 13
+	const cycles = 400
+	for _, shards := range []int{1, 2, 5, 13} {
+		a := NewActivitySet(n, shards)
+		// Reference model: parked[i] says item i is in the wake heap; wake[i]
+		// is its pending wake cycle (meaningful only while parked).
+		parked := make([]bool, n)
+		wake := make([]uint64, n)
+		seed := uint32(0x1234)
+		visited := make([]int, n)
+		for now := uint64(0); now < cycles; now++ {
+			// External wakes from the "serial phase": occasionally lower a
+			// sleeper's bound, sometimes to a cycle that has already passed.
+			seed = xs(seed)
+			if seed%5 == 0 {
+				i := int(seed>>8) % n
+				at := now + uint64(seed>>16)%4 // may be <= now: runnable immediately
+				if parked[i] && at < wake[i] {
+					wake[i] = at
+					a.Wake(i, at)
+				}
+			}
+			for i := range visited {
+				visited[i] = 0
+			}
+			runnable := make([]bool, n)
+			for i := 0; i < n; i++ {
+				runnable[i] = !parked[i] || wake[i] <= now
+			}
+			for s := 0; s < shards; s++ {
+				a.TickShard(s, now, func(i int) uint64 {
+					visited[i]++
+					// Deterministic per-(item, cycle) next bound: mostly stay
+					// active, sometimes nap, occasionally sleep indefinitely.
+					h := xs(uint32(i+1)*2654435761 + uint32(now+1)*40503)
+					switch h % 8 {
+					case 0, 1, 2, 3:
+						parked[i] = false
+						return now + 1
+					case 4, 5:
+						parked[i], wake[i] = true, now+2+uint64(h>>8)%7
+						return wake[i]
+					case 6:
+						parked[i], wake[i] = true, now+20
+						return now + 20
+					default:
+						parked[i], wake[i] = true, NeverWake
+						return NeverWake
+					}
+				})
+			}
+			for i := 0; i < n; i++ {
+				if runnable[i] && visited[i] != 1 {
+					t.Fatalf("shards=%d cycle=%d: runnable item %d visited %d times", shards, now, i, visited[i])
+				}
+				if !runnable[i] && visited[i] != 0 {
+					t.Fatalf("shards=%d cycle=%d: parked item %d (wake %d) visited %d times", shards, now, i, wake[i], visited[i])
+				}
+			}
+			// Horizon must never overshoot the earliest true pending wake,
+			// and the sleeper count must match the model exactly.
+			min := uint64(NeverWake)
+			sleeping := 0
+			for i := 0; i < n; i++ {
+				if parked[i] {
+					sleeping++
+					if wake[i] < min {
+						min = wake[i]
+					}
+				}
+			}
+			if h := a.Horizon(); h > min {
+				t.Fatalf("shards=%d cycle=%d: Horizon %d > earliest wake %d", shards, now, h, min)
+			}
+			if got := a.Sleeping(); got != sleeping {
+				t.Fatalf("shards=%d cycle=%d: Sleeping() = %d, want %d", shards, now, got, sleeping)
+			}
+		}
+	}
+}
+
+// TestActivitySetWakeSemantics pins the Wake edge cases: waking an active
+// item is a no-op, waking to a later cycle never postpones, and a wake to
+// cycle 0 is clamped (items start active; a zero wake would alias the
+// active sentinel).
+func TestActivitySetWakeSemantics(t *testing.T) {
+	a := NewActivitySet(4, 2)
+	park := func(i int, until uint64) {
+		a.TickShard(int(a.shardOf[i]), 0, func(j int) uint64 {
+			if j == i {
+				return until
+			}
+			return 1
+		})
+	}
+	park(1, 100)
+	if got := a.Horizon(); got != 100 {
+		t.Fatalf("Horizon = %d, want 100", got)
+	}
+	a.Wake(1, 200) // later than current bound: must not postpone
+	if got := a.Horizon(); got != 100 {
+		t.Fatalf("after late Wake: Horizon = %d, want 100", got)
+	}
+	a.Wake(1, 7)
+	if got := a.Horizon(); got != 7 {
+		t.Fatalf("after Wake(7): Horizon = %d, want 7", got)
+	}
+	a.Wake(0, 3) // item 0 is active: no-op
+	if got := a.Horizon(); got != 7 {
+		t.Fatalf("after waking active item: Horizon = %d, want 7", got)
+	}
+	a.Wake(1, 0) // clamps to 1
+	if got := a.Horizon(); got != 1 {
+		t.Fatalf("after Wake(0): Horizon = %d, want 1", got)
+	}
+	// The re-sleep-to-same-cycle race: item parks to w, is woken, runs, and
+	// parks to the same w again while the stale entry is still heaped. The
+	// first pop activates it; the duplicate must be discarded, not double-run.
+	b := NewActivitySet(1, 1)
+	park2 := func(until uint64, now uint64) {
+		b.TickShard(0, now, func(int) uint64 { return until })
+	}
+	park2(10, 0) // sleep until 10
+	b.Wake(0, 5)
+	visits := 0
+	b.TickShard(0, 5, func(int) uint64 { visits++; return 10 }) // re-sleep to 10: duplicate heap entry
+	b.TickShard(0, 10, func(int) uint64 { visits++; return NeverWake })
+	b.TickShard(0, 11, func(int) uint64 { visits++; return NeverWake })
+	if visits != 2 {
+		t.Fatalf("duplicate wake entries: %d visits, want 2", visits)
+	}
+}
+
+// TestActivitySetRunnable checks the pre-barrier estimate counts actives
+// plus due sleepers.
+func TestActivitySetRunnable(t *testing.T) {
+	a := NewActivitySet(6, 3)
+	if got := a.Runnable(0); got != 6 {
+		t.Fatalf("Runnable(0) = %d, want 6", got)
+	}
+	// Park everything: 0,1 until cycle 5; 2,3 until cycle 9; 4,5 forever.
+	for s := 0; s < 3; s++ {
+		a.TickShard(s, 0, func(i int) uint64 {
+			switch {
+			case i < 2:
+				return 5
+			case i < 4:
+				return 9
+			default:
+				return NeverWake
+			}
+		})
+	}
+	for _, tc := range []struct {
+		now  uint64
+		want int
+	}{{1, 0}, {5, 2}, {8, 2}, {9, 4}} {
+		if got := a.Runnable(tc.now); got != tc.want {
+			t.Fatalf("Runnable(%d) = %d, want %d", tc.now, got, tc.want)
+		}
+	}
+}

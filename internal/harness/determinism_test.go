@@ -43,23 +43,32 @@ func TestGoldenFastForwardDeterminism(t *testing.T) {
 }
 
 // TestGoldenTickWorkerDeterminism is the gate on the two-phase parallel
-// tick: every experiment, run with the serial reference path (TickWorkers=1)
-// and with explicitly parallel shard counts, must render byte-identical
-// tables. The worker counts cross the SM count (7 shards over 15 cores,
-// GOMAXPROCS whatever the host has) so uneven shard boundaries are
-// exercised, not just the balanced split.
+// tick and the activity set riding on it: every experiment, run with the
+// serial reference path (TickWorkers=1, default granule) and with parallel
+// shard counts crossed against parking granules and the fast-forward
+// toggle, must render byte-identical tables. The worker counts cross the
+// SM count (7 shards over 15 cores, GOMAXPROCS whatever the host has) so
+// uneven shard boundaries are exercised; the granules cover park-eagerly
+// (1), the default (4), and park-reluctantly (16); the NoFastForward combo
+// pins that the reference loop is untouched by granule plumbing.
 func TestGoldenTickWorkerDeterminism(t *testing.T) {
-	counts := []int{2, 7, runtime.GOMAXPROCS(0)}
+	combos := []Options{
+		{TickWorkers: 2, TickGranule: 1},
+		{TickWorkers: 7, TickGranule: 4},
+		{TickWorkers: runtime.GOMAXPROCS(0), TickGranule: 16},
+		{TickWorkers: 7, TickGranule: 16, NoFastForward: true},
+	}
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
 			serial := renderExperiment(t, e, Options{Scale: workloads.ScaleTest, TickWorkers: 1})
-			for _, n := range counts {
-				par := renderExperiment(t, e, Options{Scale: workloads.ScaleTest, TickWorkers: n})
+			for _, c := range combos {
+				c.Scale = workloads.ScaleTest
+				par := renderExperiment(t, e, c)
 				if !bytes.Equal(serial, par) {
-					t.Errorf("tick workers=%d changed %s:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
-						n, e.ID, serial, n, par)
+					t.Errorf("tick workers=%d granule=%d noff=%t changed %s:\n--- workers=1 ---\n%s--- variant ---\n%s",
+						c.TickWorkers, c.TickGranule, c.NoFastForward, e.ID, serial, par)
 				}
 			}
 		})

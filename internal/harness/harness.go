@@ -42,6 +42,10 @@ type Options struct {
 	// only: the golden determinism tests require identical tables for
 	// every value.
 	TickWorkers int
+	// TickGranule is the per-SM parking threshold for the activity-set tick
+	// (0 = gpu.DefaultGranule). Execution only, like TickWorkers: the golden
+	// determinism tests sweep granules and require identical tables.
+	TickGranule uint64
 }
 
 // Table is one rendered experiment.
@@ -124,6 +128,7 @@ func New(opt Options) *Harness {
 			Progress:    opt.Progress,
 			CacheDir:    opt.CacheDir,
 			TickWorkers: opt.TickWorkers,
+			TickGranule: opt.TickGranule,
 		}),
 	}
 }

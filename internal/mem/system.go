@@ -57,6 +57,12 @@ type System struct {
 	// at DRAM). Pops are recorded per-core during the cycle and folded here
 	// by Tick, so Drained stays cheap and the cores never write shared state.
 	inflight int
+	// onResponse, when set, observes every response committed into a core's
+	// return pipe, with the cycle it becomes poppable. The GPU's activity set
+	// uses it to lower a parked core's wake bound — a response headed for a
+	// sleeping SM must wake it no later than the cycle it can be popped. The
+	// hook fires inside Tick (serial, phase B), never from core goroutines.
+	onResponse func(core int, ready uint64)
 }
 
 // coreSlot is one core's cycle-private staging area. The trailing pad keeps
@@ -133,6 +139,16 @@ func (p *port) Send(req Request, now uint64) {
 	sl.perPart[tgt]++
 }
 
+// SetResponseHook registers the response-delivery observer (see the
+// onResponse field). Must be set before the first Tick.
+func (s *System) SetResponseHook(fn func(core int, ready uint64)) { s.onResponse = fn }
+
+// ResponseNextReady returns the cycle core's next buffered response becomes
+// poppable, NeverEvent when none is buffered. The return pipes are FIFO with
+// uniform latency, so no later response can become poppable earlier; later
+// deliveries are covered by the response hook.
+func (s *System) ResponseNextReady(core int) uint64 { return s.toCore[core].NextReady() }
+
 // PopResponse returns the next ready response for coreID, if any. The
 // in-flight accounting is deferred to the core's slot so concurrent cores
 // never write shared state.
@@ -153,7 +169,13 @@ func (s *System) Tick(now uint64) {
 	for i, p := range s.partitions {
 		in := s.toPart[i]
 		p.Tick(now, in, func(core int, resp Response) bool {
-			return s.toCore[core].Push(now, resp)
+			if !s.toCore[core].Push(now, resp) {
+				return false
+			}
+			if s.onResponse != nil {
+				s.onResponse(core, now+s.cfg.XbarLatency)
+			}
+			return true
 		})
 	}
 	for i, q := range s.toPart {

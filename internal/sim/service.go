@@ -23,6 +23,11 @@ type Options struct {
 	// deliberately NOT part of Request.Key: cached outcomes stay valid
 	// across worker-count changes.
 	TickWorkers int
+	// TickGranule is the per-SM parking threshold for the activity-set tick
+	// (gpu.Config.Granule): 0 derives it from gpu.DefaultGranule. Like
+	// TickWorkers it is an execution knob only — results are byte-identical
+	// for every value — so it is deliberately NOT part of Request.Key.
+	TickGranule uint64
 	// CacheDir, when non-empty, enables the on-disk result cache
 	// (conventionally results/.simcache).
 	CacheDir string
@@ -264,6 +269,7 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 	// Execution-only knob: applied after the key-covered config is built,
 	// so it can never leak into cache identity.
 	cfg.Workers = s.opt.TickWorkers
+	cfg.Granule = s.opt.TickGranule
 	g, err := gpu.New(cfg, d, specs...)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)

@@ -31,6 +31,17 @@ type SM struct {
 
 	// onCTADone is invoked when a resident CTA retires.
 	onCTADone func(coreID int, cta *CTA)
+	// onWake, when set, is notified whenever an external event (a CTA
+	// placement) makes a possibly-parked core runnable at a cycle. Setting it
+	// also arms lazy counter accrual: the core may then be left unticked
+	// across provably-quiet windows, with Tick/SyncTo replaying the skipped
+	// cycles' counters through FastForward ("granule replay").
+	onWake func(coreID int, at uint64)
+	// syncedTo is the next cycle whose counters have not been accrued —
+	// Stats reflects exactly the cycles in [0, syncedTo). Active cores keep
+	// it at now+1 after every Tick; parked cores fall behind and catch up in
+	// one FastForward when something next looks at them.
+	syncedTo uint64
 	// onCTADrained is invoked when a draining CTA is evicted — the
 	// preemption counterpart of onCTADone, reported distinctly because the
 	// CTA did not finish and must be re-dispatched.
@@ -78,6 +89,29 @@ func (s *SM) ID() int { return s.id }
 // first Tick. Like onCTADone it may run on a phase-A worker goroutine, so
 // implementations must confine themselves to core-private state.
 func (s *SM) SetDrainHandler(fn func(coreID int, cta *CTA)) { s.onCTADrained = fn }
+
+// SetWakeHandler registers the activity-set notifier and arms lazy counter
+// accrual (see the syncedTo field). Must be set before the first Tick and
+// only by a driver that ticks the core contiguously or syncs it first — the
+// GPU cycle loop. Unit tests that tick a bare SM leave it unset and keep the
+// strict tick-every-cycle semantics.
+func (s *SM) SetWakeHandler(fn func(coreID int, at uint64)) { s.onWake = fn }
+
+// SyncTo accrues the counters for every unprocessed cycle in [syncedTo, t)
+// in one granule replay. The caller certifies the window is quiet — the
+// core was parked with a wake bound >= t, so no cycle in it could have
+// issued, popped a response, or mutated state (FastForward panics if that
+// certificate is wrong). Safe to call redundantly: a window the core has
+// already processed is empty.
+func (s *SM) SyncTo(t uint64) {
+	if t > s.syncedTo {
+		s.FastForward(s.syncedTo, t)
+		s.syncedTo = t
+	}
+}
+
+// SyncedTo exposes the accrual frontier (tests).
+func (s *SM) SyncedTo() uint64 { return s.syncedTo }
 
 // Draining returns the number of resident CTAs currently draining.
 func (s *SM) Draining() int { return s.draining }
@@ -156,6 +190,15 @@ func (s *SM) AddCTA(spec *kernel.Spec, kernelIdx, ctaID int, addrBase uint64, bl
 	if !s.CanAccept(spec) {
 		panic(fmt.Sprintf("sm %d: AddCTA without capacity", s.id))
 	}
+	if s.onWake != nil {
+		// A placement mutates scheduler state, so any parked window must be
+		// accrued against the pre-placement verdicts first. The notifier owns
+		// the sync: it knows whether the core can still tick this cycle
+		// (dispatcher placement, before phase A) or only the next one
+		// (placement from a commit callback), and settles the counters up to
+		// exactly that boundary before this mutation lands.
+		s.onWake(s.id, now)
+	}
 	s.usage = s.usage.Add(spec, 1)
 	cta := &CTA{
 		Spec:         spec,
@@ -198,8 +241,15 @@ func (s *SM) leastLoadedScheduler() *scheduler {
 }
 
 // Tick advances the core one cycle: drain memory responses, advance the
-// LDST pipeline, then let each scheduler issue one instruction.
+// LDST pipeline, then let each scheduler issue one instruction. Under lazy
+// accrual (SetWakeHandler armed) a core waking from a parked window first
+// replays the skipped cycles' counters, so its Stats are current the moment
+// it runs again.
 func (s *SM) Tick(now uint64) {
+	if s.onWake != nil && now > s.syncedTo {
+		s.FastForward(s.syncedTo, now)
+	}
+	s.syncedTo = now + 1
 	if len(s.ctas) > 0 || s.ldst.busy() {
 		s.Stats.ActiveCycles++
 	}

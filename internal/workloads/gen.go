@@ -1,6 +1,10 @@
 package workloads
 
-import "gpusched/internal/isa"
+import (
+	"sync"
+
+	"gpusched/internal/isa"
+)
 
 // Emit fills buf with one instruction of a loop body at iteration iter.
 // Implementations must overwrite every field they rely on (buf is reused).
@@ -221,4 +225,60 @@ func hash2(a, b int) uint32 {
 // hash3 mixes three identifiers into a nonzero seed.
 func hash3(a, b, c int) uint32 {
 	return xs32(hash2(a, b) ^ (uint32(c)*0xC2B2AE35 + 1))
+}
+
+// ---- program-template memoization ----
+
+// progKey identifies one warp's generated program. A registry workload's
+// builder is a pure function of its Scale — every constant its Emit closures
+// capture derives from the scale tables — and all per-warp variation enters
+// through (ctaID, warp), so the tuple fully determines the template.
+type progKey struct {
+	name  string
+	scale Scale
+	cta   int
+	warp  int
+}
+
+var (
+	progMu   sync.Mutex
+	progMemo = map[progKey]*loopProgram{}
+)
+
+// memoProgram wraps a registry workload's per-warp program factory with a
+// process-wide template cache. Building a warp's program allocates a few
+// dozen Emit closures, and CTA placement does it for every warp of every
+// CTA — the dominant allocation cost of a simulation. The experiment sweeps
+// re-simulate the same (workload, scale) under many schedulers and
+// configurations, so the factory runs once per (cta, warp) process-wide and
+// every later placement gets a one-allocation copy sharing the immutable
+// closure slices. Emit closures are pure (stateless functions of their
+// captured constants and the iteration index), so copies may execute
+// concurrently across simulations. A factory returning anything other than
+// a *loopProgram bypasses the cache: only the iterator shape defined here
+// is known to separate immutable template from per-run state.
+func memoProgram(name string, scale Scale, f func(ctaID, w int) isa.Program) func(ctaID, w int) isa.Program {
+	return func(ctaID, w int) isa.Program {
+		k := progKey{name: name, scale: scale, cta: ctaID, warp: w}
+		progMu.Lock()
+		tpl, ok := progMemo[k]
+		progMu.Unlock()
+		if !ok {
+			built := f(ctaID, w)
+			lp, isLoop := built.(*loopProgram)
+			if !isLoop {
+				return built
+			}
+			progMu.Lock()
+			if prev, raced := progMemo[k]; raced {
+				lp = prev // a concurrent simulation built it first; share
+			} else {
+				progMemo[k] = lp // never run: copies below carry the state
+			}
+			progMu.Unlock()
+			tpl = lp
+		}
+		cp := *tpl // fresh iterator state; template slices shared
+		return &cp
+	}
 }

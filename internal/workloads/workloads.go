@@ -74,6 +74,17 @@ type Workload struct {
 var catalog []Workload
 
 func register(w Workload) {
+	// Every registry build goes through the program-template cache: the
+	// builder's Emit closures are pure functions of (Name, Scale, ctaID,
+	// warp), so each warp's template is constructed once process-wide and
+	// re-placements (later simulations in a sweep, preemption re-dispatch)
+	// cost one allocation instead of rebuilding the closure set.
+	build := w.Build
+	w.Build = func(s Scale) *kernel.Spec {
+		spec := build(s)
+		spec.Program = memoProgram(w.Name, s, spec.Program)
+		return spec
+	}
 	catalog = append(catalog, w)
 }
 
