@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test lint ci bench bench-all paper paper-small examples serve fleet-smoke clean
+.PHONY: all build test lint race ci bench bench-all paper paper-small examples serve fleet-smoke clean
 
 all: build test
 
@@ -22,6 +22,12 @@ lint:
 	else \
 		echo "staticcheck not installed; skipped (CI runs it)"; \
 	fi
+
+# Race-detector stress over the concurrency-bearing packages (mirrors the
+# CI race job): the dynamic counterpart to gpulint's static
+# phasepurity/wakesync/guardedby contracts.
+race:
+	go test -race -count=3 ./internal/fleet ./internal/server ./internal/sim ./internal/gpu/parexec ./internal/gpu
 
 # Mirror of .github/workflows/ci.yml: build, lint, race-enabled tests, and
 # short fuzz smokes of the kernel-completion and request-wire properties.

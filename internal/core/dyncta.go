@@ -111,7 +111,12 @@ func (d *DynCTA) epoch() uint64 {
 	return d.EpochCycles
 }
 
-// adjust runs one controller step for core i.
+// adjust runs one controller step for core i. It reads the lazily-accrued
+// IssueStallCycles counter: safe because the GPU loop settles every parked
+// core (syncAllTo) before a cycle in which NextDispatchEvent says the
+// controller is due — see the sleepOK branch in RunContext.
+//
+//gpulint:synced RunContext syncs all cores before any due dispatcher tick
 func (d *DynCTA) adjust(i int, c *sm.SM, now uint64) {
 	dc := now - d.lastEpoch[i]
 	stalls := c.Stats.IssueStallCycles - d.lastStall[i]
@@ -160,7 +165,12 @@ func (d *DynCTA) NextDispatchEvent(now uint64) uint64 {
 }
 
 // OnCTAComplete implements Dispatcher: the first completion on a core
-// initializes its allowance to the occupancy it was running at.
+// initializes its allowance to the occupancy it was running at. It reads
+// the lazily-accrued IssueStallCycles counter: safe because commit
+// callbacks run after RunContext settles sleepers through the current
+// cycle (the havePendingCommits branch).
+//
+//gpulint:synced RunContext syncs all cores before the retirement commits that invoke this
 func (d *DynCTA) OnCTAComplete(m Machine, coreID int, cta *sm.CTA) {
 	d.ensure(m.NumCores())
 	if cta.KernelIdx != d.KernelIdx || d.limit[coreID] != 0 {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"net/http"
 	"sync"
 	"time"
@@ -18,6 +19,12 @@ type Prober struct {
 	client    *http.Client
 	onChange  func(s *Shard, up bool) // optional health-transition hook
 
+	// ctx is the prober's lifecycle context: every probe request carries
+	// it, so Stop cancels in-flight probes instead of waiting out the
+	// client timeout against a black-holed host.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -33,12 +40,15 @@ func NewProber(ring *Ring, interval, timeout time.Duration, failAfter int, onCha
 	if timeout <= 0 {
 		timeout = interval / 2
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Prober{
 		ring:      ring,
 		interval:  interval,
 		failAfter: failAfter,
 		client:    &http.Client{Timeout: timeout},
 		onChange:  onChange,
+		ctx:       ctx,
+		cancel:    cancel,
 		stop:      make(chan struct{}),
 	}
 }
@@ -64,9 +74,14 @@ func (p *Prober) Start() {
 	}()
 }
 
-// Stop halts the loop and waits for in-flight probes to finish.
+// Stop halts the loop, cancels in-flight probes, and waits for them to
+// finish. It returns promptly even when a probed host is black-holed: the
+// lifecycle context aborts the HTTP round trip.
 func (p *Prober) Stop() {
-	p.once.Do(func() { close(p.stop) })
+	p.once.Do(func() {
+		p.cancel()
+		close(p.stop)
+	})
 	p.wg.Wait()
 }
 
@@ -85,9 +100,21 @@ func (p *Prober) probeAll() {
 }
 
 func (p *Prober) probe(s *Shard) {
-	resp, err := p.client.Get(s.URL + "/readyz")
+	req, err := http.NewRequestWithContext(p.ctx, http.MethodGet, s.URL+"/readyz", nil)
+	if err != nil {
+		// A malformed shard URL never round-trips; count it as a failure so
+		// the shard is marked down instead of silently skipped.
+		if s.noteFailure("probe: "+err.Error(), p.failAfter) && p.onChange != nil {
+			p.onChange(s, false)
+		}
+		return
+	}
+	resp, err := p.client.Do(req)
 	switch {
 	case err != nil:
+		if p.ctx.Err() != nil {
+			return // shutting down: not a health signal
+		}
 		if s.noteFailure("probe: "+err.Error(), p.failAfter) && p.onChange != nil {
 			p.onChange(s, false)
 		}

@@ -41,10 +41,15 @@ type Shard struct {
 	// routed counts requests this router forwarded to the shard.
 	routed atomic.Uint64
 
-	mu        sync.Mutex
-	down      bool
-	fails     int // consecutive probe/forward failures
-	lastErr   string
+	mu sync.Mutex
+	//gpulint:guardedby mu
+	down bool
+	// fails counts consecutive probe/forward failures.
+	//gpulint:guardedby mu
+	fails int
+	//gpulint:guardedby mu
+	lastErr string
+	//gpulint:guardedby mu
 	lastProbe time.Time
 }
 

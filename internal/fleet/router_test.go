@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -263,13 +264,14 @@ func TestShardDownFailover(t *testing.T) {
 // TestProberMarksDownAndRecovers: the prober demotes a shard whose
 // /readyz stops answering and promotes it again on recovery.
 func TestProberMarksDownAndRecovers(t *testing.T) {
-	healthy := true
+	var healthy atomic.Bool // written by the test, read by the handler goroutines
+	healthy.Store(true)
 	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/readyz" {
 			http.NotFound(w, r)
 			return
 		}
-		if !healthy {
+		if !healthy.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			return
 		}
@@ -284,7 +286,7 @@ func TestProberMarksDownAndRecovers(t *testing.T) {
 	prober.Start()
 	defer prober.Stop()
 
-	healthy = false
+	healthy.Store(false)
 	select {
 	case up := <-down:
 		if up {
@@ -293,7 +295,7 @@ func TestProberMarksDownAndRecovers(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("prober never marked the failing shard down")
 	}
-	healthy = true
+	healthy.Store(true)
 	select {
 	case up := <-down:
 		if !up {

@@ -137,6 +137,13 @@ type Result struct {
 }
 
 // GPU is one simulated device with a fixed launch table.
+//
+// GPU is shared state for the two-phase tick: phase-A code (anything
+// reachable from SM.Tick or a shard visit) must not mutate it except
+// through the declared staging sinks (onCTADone, onCTADrained, the visit
+// closure's per-core probe throttles) — gpulint phasepurity enforces this.
+//
+//gpulint:shared
 type GPU struct {
 	cfg        Config
 	cores      []*sm.SM
@@ -250,6 +257,8 @@ func New(cfg Config, d core.Dispatcher, specs ...*kernel.Spec) (*GPU, error) {
 // it *before* mutating the core, while the parked window is still provably
 // quiet — then lowers the core's wake bound so the skipped SM rejoins
 // phase A in time. Waking an active core is a harmless no-op.
+//
+//gpulint:phaseb wake/sync runs in serial phases only; a phase-A caller would race the wake heap and the watermark
 func (g *GPU) wakeCore(coreID int, at uint64) {
 	sync, wake := at, at
 	if g.postTick {
@@ -273,6 +282,8 @@ func (g *GPU) wakeCore(coreID int, at uint64) {
 // sleeping core's Stats: the dispatcher when it is due to act, commit
 // callbacks, the epoch hook, and final collection. Cores already synced past
 // t are untouched.
+//
+//gpulint:phaseb the serial-phase sync barrier; running it during phase A would race the cores it settles
 func (g *GPU) syncAllTo(t uint64) {
 	for _, c := range g.cores {
 		c.SyncTo(t)
@@ -357,12 +368,16 @@ func (g *GPU) Preempt(coreID int, cta *sm.CTA) bool {
 // goroutine, so it only records the event in the retiring core's private
 // list; every side effect that touches shared state happens in
 // commitRetirements, serially.
+//
+//gpulint:staged appends only to the retiring core's own pendingRetire list
 func (g *GPU) onCTADone(coreID int, cta *sm.CTA) {
 	g.pendingRetire[coreID] = append(g.pendingRetire[coreID], cta)
 }
 
 // onCTADrained is the SMs' drain-eviction callback — same phase-A discipline
 // as onCTADone: record in the core's private list, commit serially later.
+//
+//gpulint:staged appends only to the draining core's own pendingPreempt list
 func (g *GPU) onCTADrained(coreID int, cta *sm.CTA) {
 	g.pendingPreempt[coreID] = append(g.pendingPreempt[coreID], cta)
 }
@@ -373,6 +388,8 @@ func (g *GPU) onCTADrained(coreID int, cta *sm.CTA) {
 // OnCTAComplete probe — the same per-CTA sequence the serial path has always
 // run, now at a fixed point of the cycle (after every core ticked, before
 // the memory system ticks).
+//
+//gpulint:phaseb replays shared-state side effects after the phase-A barrier
 func (g *GPU) commitRetirements() {
 	for c := range g.pendingRetire {
 		list := g.pendingRetire[c]
@@ -414,6 +431,8 @@ func (g *GPU) commitRetirements() {
 // implementing PreemptionObserver is notified. Because this is the only
 // place evictions touch shared state, the requeue order is a pure function
 // of (eviction cycle, core index) — independent of phase-A interleaving.
+//
+//gpulint:phaseb replays shared-state side effects after the phase-A barrier
 func (g *GPU) commitPreemptions() {
 	po, _ := g.dispatcher.(core.PreemptionObserver)
 	for c := range g.pendingPreempt {
@@ -525,6 +544,8 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 	// phase-A workers but touches only core i's private state (the probe
 	// throttle arrays are per-core, the response pipe is core-private, and
 	// g.now is ordered by the pool's release/join edges).
+	//
+	//gpulint:staged the probe throttle slots probeAt[i]/probeBO[i] are owned by core i's shard; no cross-core state is touched
 	visit := func(i int) uint64 {
 		c := g.cores[i]
 		before := c.Stats.InstrIssued
@@ -740,6 +761,7 @@ func clampToBoundary(horizon, from, every uint64) uint64 {
 	return horizon
 }
 
+//gpulint:synced RunContext runs syncAllTo(g.now) before both collect call sites, so every core's lazy counters are settled
 func (g *GPU) collect() Result {
 	r := Result{
 		Cycles:   g.now,

@@ -83,7 +83,12 @@ func (a *ActivitySet) Shards() int { return len(a.shards) }
 // in the wake heap until that cycle or an external Wake. The bound must be
 // conservative: the item must provably have nothing to do before it.
 //
+// TickShard is a phase-A root: shards run concurrently, so everything
+// reachable from it (including the visit callback) must confine itself to
+// shard- and core-private state (gpulint phasepurity polices this).
+//
 //gpulint:hotpath
+//gpulint:phasea
 func (a *ActivitySet) TickShard(shard int, now uint64, visit func(i int) uint64) {
 	sh := &a.shards[shard]
 	for len(sh.heap) > 0 && sh.heap[0].at <= now {

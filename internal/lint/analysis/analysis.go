@@ -39,7 +39,12 @@ type Pass struct {
 	// read their markers here; suppression directives are applied by the
 	// driver after the analyzer runs.
 	Directives []Directive
-	Report     func(Diagnostic)
+	// Prog is the whole-program view (call graph, cross-package directive
+	// attachment) when the driver loaded multiple packages together. Nil in
+	// single-package runs; program-level analyzers then build a one-package
+	// Program via ProgramFromPass, so fixtures exercise the same code path.
+	Prog   *Program
+	Report func(Diagnostic)
 }
 
 // Reportf reports a diagnostic at pos.
@@ -69,6 +74,34 @@ const (
 	// exported field of the named package-local struct type:
 	// //gpulint:cachekey TypeName
 	KindCachekey = "cachekey"
+	// KindPhaseA marks the annotated function as a root of the phase-A
+	// (parallel) tick path for the phasepurity and wakesync analyzers:
+	// //gpulint:phasea <why this is a phase-A entry point>
+	KindPhaseA = "phasea"
+	// KindPhaseB marks the annotated function as a serial commit step; its
+	// being reachable from any phase-A root is a phasepurity error:
+	// //gpulint:phaseb <why this must stay serial>
+	KindPhaseB = "phaseb"
+	// KindStaged marks the annotated function (or function literal on the
+	// same or previous line) as a declared staging sink: phase-A code may
+	// mutate shared state through it, and phasepurity does not look inside:
+	// //gpulint:staged <which core-private slot it writes>
+	KindStaged = "staged"
+	// KindShared marks the annotated type's state as shared across the
+	// phase-A shards; phasepurity flags any phase-A-reachable mutation of
+	// it outside the staged sinks: //gpulint:shared <who shares it>
+	KindShared = "shared"
+	// KindSynced marks the annotated function as a wake/sync funnel (or a
+	// reader that provably runs after one), exempting its lazy-counter
+	// reads from the wakesync analyzer: //gpulint:synced <why it is synced>
+	KindSynced = "synced"
+	// KindLazy marks the annotated struct field as a lazily-accrued
+	// container whose named sub-fields are only valid after a watermark
+	// sync: //gpulint:lazy Field[,Field...] <what syncs them>
+	KindLazy = "lazy"
+	// KindGuardedby marks the annotated struct field as protected by the
+	// named sibling mutex field: //gpulint:guardedby mu
+	KindGuardedby = "guardedby"
 )
 
 // Directive is one parsed //gpulint: comment.
@@ -105,7 +138,7 @@ func ParseDirectives(files []*ast.File) []Directive {
 				rest = strings.TrimSpace(rest)
 				d := Directive{Pos: c.Pos(), Kind: kind}
 				switch kind {
-				case KindAllow, KindCachekey:
+				case KindAllow, KindCachekey, KindLazy, KindGuardedby:
 					arg, reason, _ := strings.Cut(rest, " ")
 					if arg != "" {
 						d.Args = strings.Split(arg, ",")

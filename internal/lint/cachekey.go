@@ -120,6 +120,17 @@ func markFieldRefs(pass *analysis.Pass, fn *ast.FuncDecl, decls map[*types.Func]
 	seen[fn] = true
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			// A keyed composite literal writes the field: CacheEntry{Key: k}
+			// references Key just as e.Key does — the encode side of a wire
+			// form builds the struct instead of reading it.
+			if key, ok := n.Key.(*ast.Ident); ok {
+				if f, ok := pass.TypesInfo.Uses[key].(*types.Var); ok {
+					if _, tracked := want[f]; tracked {
+						want[f] = true
+					}
+				}
+			}
 		case *ast.SelectorExpr:
 			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
 				if f, ok := sel.Obj().(*types.Var); ok {

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gpusched/internal/lint/analysis"
+)
+
+// Guardedby enforces mutex-protection annotations on struct fields
+// (DESIGN.md "Concurrency contracts"). A field annotated
+//
+//	//gpulint:guardedby mu
+//
+// may only be accessed (read or write) where the sibling mutex is
+// provably held: either a lexically preceding <base>.mu.Lock()/RLock()
+// on the same receiver expression with no intervening non-deferred
+// unlock, or inside a function whose name ends in "Locked" — the repo's
+// caller-holds-the-lock convention (publishLocked, evictLocked). The
+// check is a lexical approximation of lock dominance, not an alias
+// analysis: it catches the forgotten-lock and use-after-unlock classes
+// that the race detector only finds under load, while the convention
+// suffix keeps the helpers it cannot see through enumerable.
+var Guardedby = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //gpulint:guardedby mu may only be accessed under a lexically visible " +
+		"<recv>.mu.Lock()/RLock(), or in functions named *Locked (caller holds the lock)",
+	Run: runGuardedby,
+}
+
+func runGuardedby(pass *analysis.Pass) error {
+	prog := analysis.ProgramFromPass(pass)
+	reportMisattached(pass, prog, map[string]string{
+		analysis.KindGuardedby: "a struct field",
+	})
+
+	// guarded: canonical field key (Program.VarKey) -> sibling mutex field
+	// name. Keyed canonically so an access in another package — which sees
+	// the field through export data as a distinct object — still resolves.
+	guarded := make(map[string]string)
+	for _, fa := range prog.AnnotatedFields(analysis.KindGuardedby) {
+		inPkg := fa.Field.Pkg() == pass.Pkg
+		if len(fa.D.Args) != 1 {
+			if inPkg {
+				pass.Reportf(fa.D.Pos, "//gpulint:guardedby needs exactly one mutex field name, e.g. //gpulint:guardedby mu")
+			}
+			continue
+		}
+		mu := fa.D.Args[0]
+		if !siblingMutex(fa.Owner, mu) {
+			if inPkg {
+				pass.Reportf(fa.D.Pos, "//gpulint:guardedby %s: %s has no sync.Mutex/sync.RWMutex field %q", mu, fa.Owner.Name(), mu)
+			}
+			continue
+		}
+		guarded[prog.VarKey(fa.Field)] = mu
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	for _, n := range prog.Nodes() {
+		if n.Pkg.Pkg != pass.Pkg {
+			continue
+		}
+		checkGuardedAccesses(pass, prog, guarded, n)
+	}
+	return nil
+}
+
+// siblingMutex reports whether the struct declared by owner has a field
+// named mu whose type is sync.Mutex or sync.RWMutex.
+func siblingMutex(owner *types.TypeName, mu string) bool {
+	st, ok := owner.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != mu {
+			continue
+		}
+		t := f.Type()
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockEvent is one mutex operation seen while scanning a function body.
+type lockEvent struct {
+	pos      token.Pos
+	base     string // receiver expression, canonicalized with types.ExprString
+	mu       string
+	lock     bool // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+}
+
+func checkGuardedAccesses(pass *analysis.Pass, prog *analysis.Program, guarded map[string]string, n *analysis.FuncNode) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	if n.Decl != nil && strings.HasSuffix(n.Decl.Name.Name, "Locked") {
+		return // caller-holds-the-lock convention
+	}
+
+	var events []lockEvent
+	type access struct {
+		sel  *ast.SelectorExpr
+		base string
+		mu   string
+	}
+	var accesses []access
+
+	analysis.WalkStack(body, func(x ast.Node, stack []ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			return false // separate node: a closure escaping the locked region must lock for itself
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if ev, ok := mutexCall(x, stack); ok {
+				events = append(events, ev)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			f, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, tracked := guarded[prog.VarKey(f)]
+			if !tracked {
+				return true
+			}
+			accesses = append(accesses, access{x, types.ExprString(x.X), mu})
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, a := range accesses {
+		if !heldAt(events, a.base, a.mu, a.sel.Pos()) {
+			pass.Reportf(a.sel.Pos(), "guardedby: %s accesses %s without holding %s.%s; lock first, or name the helper *Locked if the caller holds it",
+				n.Name(), types.ExprString(a.sel), a.base, a.mu)
+		}
+	}
+}
+
+// mutexCall recognizes <base>.<mu>.Lock/RLock/Unlock/RUnlock() calls.
+func mutexCall(call *ast.CallExpr, stack []ast.Node) (lockEvent, bool) {
+	method, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var lock bool
+	switch method.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return lockEvent{}, false
+	}
+	muSel, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	deferred := false
+	if len(stack) > 0 {
+		_, deferred = stack[len(stack)-1].(*ast.DeferStmt)
+	}
+	return lockEvent{
+		pos:      call.Pos(),
+		base:     types.ExprString(muSel.X),
+		mu:       muSel.Sel.Name,
+		lock:     lock,
+		deferred: deferred,
+	}, true
+}
+
+// heldAt reports whether base.mu is lexically held at pos: some earlier
+// Lock/RLock on the same base and mutex, with no non-deferred unlock in
+// between. Deferred unlocks run at return, so they never break the held
+// region.
+func heldAt(events []lockEvent, base, mu string, pos token.Pos) bool {
+	lockPos := token.NoPos
+	for _, ev := range events {
+		if ev.pos >= pos || ev.base != base || ev.mu != mu {
+			continue
+		}
+		if ev.lock {
+			lockPos = ev.pos
+		} else if !ev.deferred {
+			lockPos = token.NoPos
+		}
+	}
+	return lockPos != token.NoPos
+}

@@ -36,6 +36,15 @@ var CycleLoopPackages = []string{
 	"internal/core",
 }
 
+// ConcurrencyPackages are the serving-tier packages whose goroutines hold
+// locks and block on the network: the fleet router/prober, the daemon's
+// job manager, and the singleflight service. guardedby and ctxflow police
+// these (the simulator packages are covered by the phase discipline
+// instead — they are not allowed goroutines at all outside parexec).
+var ConcurrencyPackages = []string{
+	"internal/fleet", "internal/server", "internal/sim",
+}
+
 // ScopedAnalyzer pairs an analyzer with the packages it applies to.
 type ScopedAnalyzer struct {
 	Analyzer *analysis.Analyzer
@@ -72,6 +81,14 @@ func Suite() []ScopedAnalyzer {
 		{Nogoroutine, matchSuffix(CycleLoopPackages)},
 		{Cachekey, matchAll},
 		{Hotalloc, matchAll},
+		// The whole-program analyzers: phasepurity/wakesync/guardedby are
+		// annotation-driven and run everywhere their markers can appear;
+		// ctxflow's blocking-call bans are a serving-tier policy, so it is
+		// scoped to the concurrency packages.
+		{Phasepurity, matchAll},
+		{Wakesync, matchAll},
+		{Guardedby, matchAll},
+		{Ctxflow, matchSuffix(ConcurrencyPackages)},
 	}
 }
 
@@ -96,12 +113,22 @@ func suppressionTargets(d analysis.Directive) []string {
 	return nil
 }
 
+// knownDirectives is the full annotation grammar, in the order the
+// unknown-directive diagnostic lists it.
+var knownDirectives = []string{
+	analysis.KindOrderedIrrelevant, analysis.KindAllow,
+	analysis.KindHotpath, analysis.KindCachekey,
+	analysis.KindPhaseA, analysis.KindPhaseB, analysis.KindStaged,
+	analysis.KindShared, analysis.KindSynced, analysis.KindLazy,
+	analysis.KindGuardedby,
+}
+
 // knownDirective reports whether the kind is part of the grammar.
 func knownDirective(kind string) bool {
-	switch kind {
-	case analysis.KindOrderedIrrelevant, analysis.KindAllow,
-		analysis.KindHotpath, analysis.KindCachekey:
-		return true
+	for _, k := range knownDirectives {
+		if kind == k {
+			return true
+		}
 	}
 	return false
 }
@@ -130,7 +157,7 @@ func ApplySuppressions(fset *token.FileSet, diags []analysis.Diagnostic, dirs []
 			out = append(out, analysis.Diagnostic{
 				Pos: d.Pos, Analyzer: "gpulint",
 				Message: fmt.Sprintf("unknown directive //gpulint:%s (want %s)", d.Kind,
-					strings.Join([]string{analysis.KindOrderedIrrelevant, analysis.KindAllow, analysis.KindHotpath, analysis.KindCachekey}, ", ")),
+					strings.Join(knownDirectives, ", ")),
 			})
 			continue
 		}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gpusched/internal/lint/analysis"
+)
+
+// Phasepurity enforces the two-phase tick's staging discipline on the
+// whole-program call graph (DESIGN.md "Concurrency contracts"). Roots are
+// the functions annotated //gpulint:phasea — the code the parexec workers
+// run concurrently. Everything reachable from them may not write state of
+// a type annotated //gpulint:shared (mem.System, gpu.GPU) except inside a
+// function annotated //gpulint:staged, the declared per-core staging
+// sinks. A function annotated //gpulint:phaseb — the serial commit steps —
+// being reachable from a phase-A root at all is an error: the diagnostic
+// carries the call path that created the race.
+var Phasepurity = &analysis.Analyzer{
+	Name: "phasepurity",
+	Doc: "code reachable from //gpulint:phasea roots must not mutate //gpulint:shared state outside " +
+		"//gpulint:staged sinks, and must not reach //gpulint:phaseb commit functions",
+	Run: runPhasepurity,
+}
+
+func runPhasepurity(pass *analysis.Pass) error {
+	prog := analysis.ProgramFromPass(pass)
+	reportMisattached(pass, prog,
+		map[string]string{
+			analysis.KindPhaseA: "a function declaration or literal",
+			analysis.KindPhaseB: "a function declaration or literal",
+			analysis.KindStaged: "a function declaration or literal",
+			analysis.KindShared: "a type declaration",
+		})
+
+	roots := prog.AnnotatedFuncs(analysis.KindPhaseA)
+	if len(roots) == 0 {
+		return nil
+	}
+	// Staged sinks and phase-B functions are cut points: the former are the
+	// declared mutation carve-outs, the latter are reported at the edge
+	// that reached them rather than cascading into their bodies.
+	parents := prog.Reachable(roots, func(n *analysis.FuncNode) bool {
+		return n.HasDirective(analysis.KindStaged) || n.HasDirective(analysis.KindPhaseB)
+	})
+	for _, n := range prog.Nodes() {
+		if n.Pkg.Pkg != pass.Pkg {
+			continue
+		}
+		if _, reached := parents[n]; !reached {
+			continue
+		}
+		if n.HasDirective(analysis.KindPhaseB) {
+			if parents[n] != nil {
+				pass.Reportf(n.Pos(), "phasepurity: phase-B commit %s is reachable from the phase-A tick path (%s); commits must wait for the barrier",
+					n.Name(), prog.Path(parents, n))
+			}
+			continue
+		}
+		if n.HasDirective(analysis.KindStaged) {
+			continue
+		}
+		scanPhaseMutations(pass, prog, parents, n)
+	}
+	return nil
+}
+
+// reportMisattached flags structural directives of the given kinds (in the
+// current package) that resolved to no function, type, or field — an
+// annotation floating next to nothing enforces nothing.
+func reportMisattached(pass *analysis.Pass, prog *analysis.Program, kinds map[string]string) {
+	attached := prog.AttachedPositions()
+	for _, d := range pass.Directives {
+		want, tracked := kinds[d.Kind]
+		if !tracked || attached[d.Pos] {
+			continue
+		}
+		pass.Reportf(d.Pos, "//gpulint:%s is not attached to %s", d.Kind, want)
+	}
+}
+
+// scanPhaseMutations walks one phase-A-reachable function body (nested
+// literals are their own nodes) and reports writes into shared state:
+// assignments, ++/--, and the mutating builtins delete/copy, whenever the
+// written location's selector/index chain passes through a type annotated
+// //gpulint:shared.
+func scanPhaseMutations(pass *analysis.Pass, prog *analysis.Program, parents map[*analysis.FuncNode]*analysis.FuncNode, n *analysis.FuncNode) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	check := func(expr ast.Expr, verb string) {
+		if name, ok := sharedChain(pass, prog, expr); ok {
+			pass.Reportf(expr.Pos(), "phasepurity: %s %s %s (shared %s) on the phase-A path (%s); route it through a //gpulint:staged sink or move it to phase B",
+				n.Name(), verb, types.ExprString(expr), name, prog.Path(parents, n))
+		}
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return x == n.Lit
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				check(lhs, "writes")
+			}
+		case *ast.IncDecStmt:
+			check(x.X, "writes")
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && len(x.Args) > 0 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "copy") {
+					check(x.Args[0], "mutates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sharedChain reports whether the expression is a selector/index chain
+// any of whose links has a //gpulint:shared type, naming that type.
+func sharedChain(pass *analysis.Pass, prog *analysis.Program, expr ast.Expr) (string, bool) {
+	e := ast.Expr(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if name, ok := sharedTypeName(pass, prog, pass.TypesInfo.TypeOf(x.X)); ok {
+				return name, true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// sharedTypeName resolves t (through pointers) to a named type annotated
+// //gpulint:shared.
+func sharedTypeName(pass *analysis.Pass, prog *analysis.Program, t types.Type) (string, bool) {
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	tn := named.Obj()
+	if prog.TypeHasDirective(tn, analysis.KindShared) {
+		return tn.Name(), true
+	}
+	return "", false
+}

@@ -22,9 +22,9 @@ func TestRepoGpulintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("load.Load returned no packages")
 	}
-	for _, pkg := range pkgs {
-		for _, d := range lint.Check(fset, pkg) {
-			t.Errorf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
-		}
+	// One whole-program pass, exactly as cmd/gpulint runs it: the
+	// call-graph analyzers need every package loaded together.
+	for _, d := range lint.CheckAll(fset, pkgs) {
+		t.Errorf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
 }

@@ -43,3 +43,23 @@ func bare() string { return "" }
 
 //gpulint:cachekey Req // want "is not attached to a function declaration"
 var detached = 0
+
+// Envelope is a wire form whose encode side builds the struct rather
+// than reading it: keyed composite literals count as references.
+type Envelope struct {
+	Version int
+	Key     string
+	Outcome string
+}
+
+// encode covers every field through the composite literal.
+//
+//gpulint:cachekey Envelope
+func encode(key, out string) Envelope {
+	return Envelope{Version: 1, Key: key, Outcome: out}
+}
+
+//gpulint:cachekey Envelope // want "encodePartial does not reference exported field\\(s\\) Outcome of Envelope"
+func encodePartial(key string) Envelope {
+	return Envelope{Version: 1, Key: key}
+}

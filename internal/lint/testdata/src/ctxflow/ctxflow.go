@@ -1,0 +1,70 @@
+// Package ctxflow exercises the ctxflow analyzer: no bare time.Sleep, no
+// context-free HTTP, and no fresh context roots in handler-reachable code.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func sleepy() {
+	time.Sleep(time.Second) // want "ctxflow: bare time.Sleep blocks with no cancellation"
+}
+
+// waity is the sanctioned shape: a timer raced against the context.
+func waity(ctx context.Context) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func fetch(c *http.Client) {
+	c.Get("http://example.com")      // want "ctxflow: \\(\\*http.Client\\).Get sends a request with no context"
+	http.Get("http://example.com")   // want "ctxflow: http.Get sends a request with no context"
+	http.NewRequest("GET", "u", nil) // want "ctxflow: http.NewRequest builds a context-free request"
+}
+
+// fetchCtx is the sanctioned shape: the context rides in the request.
+func fetchCtx(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.com", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// handle -> helper: the fresh context two calls below the handler is
+// found through the call graph.
+func handle(w http.ResponseWriter, r *http.Request) {
+	helper()
+}
+
+func helper() {
+	ctx := context.Background() // want "ctxflow: ctxflow.helper is reachable from an HTTP handler \\(ctxflow.handle -> ctxflow.helper\\) but mints a fresh context.Background"
+	_ = ctx
+}
+
+// runner is a detached background loop, not handler-reachable: a fresh
+// root is exactly right for it.
+func runner() {
+	ctx := context.TODO()
+	_ = ctx
+}
+
+// legacy documents a sanctioned sleep with a reviewed suppression.
+func legacy() {
+	time.Sleep(time.Millisecond) //gpulint:allow ctxflow startup jitter predates the ctx plumbing
+}
+
+// stale suppressions are themselves findings.
+func quiet(ctx context.Context) {
+	waity(ctx) //gpulint:allow ctxflow nothing to suppress // want "unused //gpulint:allow suppression: no ctxflow diagnostic"
+}

@@ -1,0 +1,93 @@
+// Package guardedby exercises the guardedby analyzer: fields annotated
+// //gpulint:guardedby mu may only be accessed under a lexically visible
+// lock of the named sibling mutex, or in *Locked helper functions.
+package guardedby
+
+import "sync"
+
+type Shard struct {
+	mu sync.Mutex
+	//gpulint:guardedby mu
+	down bool
+	//gpulint:guardedby mu
+	fails int
+
+	rw sync.RWMutex
+	//gpulint:guardedby rw
+	cached string
+}
+
+// Healthy locks, reads, and defers the unlock: the canonical shape.
+func (s *Shard) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.down
+}
+
+// Racy reads with no lock at all.
+func (s *Shard) Racy() bool {
+	return s.down // want "guardedby.Shard.Racy accesses s.down without holding s.mu"
+}
+
+// UseAfterUnlock reads again after releasing: the stale-read race.
+func (s *Shard) UseAfterUnlock() int {
+	s.mu.Lock()
+	n := s.fails
+	s.mu.Unlock()
+	return n + s.fails // want "guardedby.Shard.UseAfterUnlock accesses s.fails without holding s.mu"
+}
+
+// Cached holds the read lock: RLock counts.
+func (s *Shard) Cached() string {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.cached
+}
+
+// resetLocked follows the caller-holds-the-lock naming convention.
+func (s *Shard) resetLocked() {
+	s.down = false
+	s.fails = 0
+}
+
+// Reset is the conventional pairing: lock, then call the helper.
+func (s *Shard) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetLocked()
+}
+
+// Escape returns a closure that outlives the locked region; the closure
+// body must take the lock for itself.
+func (s *Shard) Escape() func() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() bool {
+		return s.down // want "accesses s.down without holding s.mu"
+	}
+}
+
+// WrongMutex holds rw while touching a mu-guarded field.
+func (s *Shard) WrongMutex() bool {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.down // want "accesses s.down without holding s.mu"
+}
+
+// Justified documents a benign access with a reviewed suppression.
+func (s *Shard) Justified() bool {
+	return s.down //gpulint:allow guardedby read before the shard is published to any other goroutine
+}
+
+type misuse struct {
+	mu sync.Mutex
+	//gpulint:guardedby // want "//gpulint:guardedby needs exactly one mutex field name"
+	a int
+	//gpulint:guardedby nosuch // want "misuse has no sync.Mutex/sync.RWMutex field \"nosuch\""
+	b int
+	//gpulint:guardedby c // want "misuse has no sync.Mutex/sync.RWMutex field \"c\""
+	c int
+}
+
+//gpulint:guardedby mu // want "//gpulint:guardedby is not attached to a struct field"
+var loose = 1

@@ -1,0 +1,104 @@
+// Package phasepurity exercises the phasepurity analyzer: code reachable
+// from //gpulint:phasea roots must not mutate //gpulint:shared state
+// outside //gpulint:staged sinks, and must never reach a //gpulint:phaseb
+// commit function.
+package phasepurity
+
+// Memory is the shared staging target every shard can see.
+//
+//gpulint:shared all phase-A shards hold a pointer to it
+type Memory struct {
+	slots   []int
+	commits int
+	inbox   map[int]int
+}
+
+// Send is the declared staging sink: phase-A writes go through it.
+//
+//gpulint:staged writes only the calling core's slot
+func (m *Memory) Send(core, v int) { m.slots[core] = v }
+
+// Commit is the serial commit step; never called from phase A here.
+//
+//gpulint:phaseb commits the staged slots after the barrier
+func (m *Memory) Commit() { m.commits++ }
+
+// Drain is a phase-B step that phase A erroneously reaches via poke.
+//
+//gpulint:phaseb drains after the barrier
+func (m *Memory) Drain() { m.commits = 0 } // want "phase-B commit phasepurity.Memory.Drain is reachable from the phase-A tick path"
+
+// Core is per-shard state: phase A may mutate it freely.
+type Core struct {
+	id    int
+	ticks int
+	mem   *Memory
+}
+
+// Tick is a phase-A root: the shard workers run it concurrently.
+//
+//gpulint:phasea one worker per shard calls this
+func (c *Core) Tick() {
+	c.ticks++            // core-private: fine
+	c.mem.Send(c.id, 1)  // staged sink: fine
+	c.mem.slots[c.id] = 2 // want "phasepurity.Core.Tick writes c.mem.slots\\[c.id\\] \\(shared Memory\\) on the phase-A path"
+	c.poke()
+}
+
+// poke is reachable from Tick: its mutations are phase-A mutations too.
+func (c *Core) poke() {
+	c.mem.commits++          // want "phasepurity.Core.poke writes c.mem.commits \\(shared Memory\\) on the phase-A path"
+	delete(c.mem.inbox, c.id) // want "phasepurity.Core.poke mutates c.mem.inbox \\(shared Memory\\) on the phase-A path"
+	c.mem.Drain()
+}
+
+// shardTick is a phase-A root that calls its visitor dynamically, like
+// the real activity-set tick.
+//
+//gpulint:phasea the worker entry point; visit runs on the phase-A path
+func shardTick(visit func(i int)) {
+	visit(0)
+}
+
+// buildVisitors wires two closures into shardTick. The first is a
+// declared staging sink; the second mutates shared state bare and is
+// caught through the dynamic call edge.
+func buildVisitors(mem *Memory) {
+	//gpulint:staged writes only slot i, owned by the visiting shard
+	ok := func(i int) {
+		mem.slots[i] = i
+	}
+	bad := func(i int) {
+		mem.commits = i // want "phasepurity.buildVisitors.func@phasepurity.go:\\d+ writes mem.commits \\(shared Memory\\) on the phase-A path"
+	}
+	shardTick(ok)
+	shardTick(bad)
+}
+
+// probe reads shared state and stages one exclusively-owned slot; the
+// carve-out is reviewed via an allow suppression.
+//
+//gpulint:phasea probes the shared horizon read-only
+func probe(m *Memory) int {
+	m.slots[0] = 9 //gpulint:allow phasepurity slot 0 is exclusively owned during the probe window
+	return m.commits
+}
+
+// serialOnly is never reachable from a phase-A root: free to mutate.
+func serialOnly(m *Memory) {
+	m.commits++
+	m.Commit()
+}
+
+//gpulint:phasea // want "//gpulint:phasea is not attached to a function declaration or literal"
+var notAFunc = 1
+
+//gpulint:shared // want "//gpulint:shared is not attached to a type declaration"
+var notAType = 2
+
+// clean has no findings, so the suppression below is stale and reported.
+//
+//gpulint:phasea clean root
+func clean(m *Memory) int {
+	return m.commits //gpulint:allow phasepurity reads are free // want "unused //gpulint:allow suppression: no phasepurity diagnostic"
+}

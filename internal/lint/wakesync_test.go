@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpusched/internal/lint"
+	"gpusched/internal/lint/analysistest"
+)
+
+func TestWakesync(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wakesync", lint.Wakesync)
+}

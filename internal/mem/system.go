@@ -36,6 +36,12 @@ import "gpusched/internal/stats"
 // Tick order within a cycle is fixed and deterministic: staged requests
 // commit in core-index order, then partitions are visited in index order, so
 // identical configurations and workloads replay identical cycle counts.
+//
+// System is shared state for the two-phase tick: phase-A code may touch it
+// only through the declared staging sinks (a port's Send, PopResponse) and
+// read-only probes — gpulint phasepurity enforces this.
+//
+//gpulint:shared
 type System struct {
 	cfg        *Config
 	partitions []*L2Partition
@@ -128,6 +134,8 @@ func (p *port) CanSend(lineAddr uint64) bool {
 }
 
 // Send stages the request in the core's private slot; Tick commits it.
+//
+//gpulint:staged writes only the sending core's own staging slot
 func (p *port) Send(req Request, now uint64) {
 	s := p.sys
 	tgt := s.cfg.PartitionOf(req.LineAddr)
@@ -146,12 +154,17 @@ func (s *System) SetResponseHook(fn func(core int, ready uint64)) { s.onResponse
 // ResponseNextReady returns the cycle core's next buffered response becomes
 // poppable, NeverEvent when none is buffered. The return pipes are FIFO with
 // uniform latency, so no later response can become poppable earlier; later
-// deliveries are covered by the response hook.
+// deliveries are covered by the response hook. Phase-A shard visits call it
+// while probing for parkability, so it must stay a pure read.
+//
+//gpulint:phasea
 func (s *System) ResponseNextReady(core int) uint64 { return s.toCore[core].NextReady() }
 
 // PopResponse returns the next ready response for coreID, if any. The
 // in-flight accounting is deferred to the core's slot so concurrent cores
 // never write shared state.
+//
+//gpulint:staged pops the core's own return pipe and counts in its own slot
 func (s *System) PopResponse(coreID int, now uint64) (Response, bool) {
 	q := s.toCore[coreID]
 	if !q.CanPop(now) {
@@ -164,6 +177,8 @@ func (s *System) PopResponse(coreID int, now uint64) (Response, bool) {
 // Tick commits the cycle's staged traffic, advances every partition and both
 // crossbars one cycle, and refreshes the admission snapshot. It must be
 // called serially (phase B of the two-phase tick).
+//
+//gpulint:phaseb commits every core's staged traffic; racing phase A would tear the slots
 func (s *System) Tick(now uint64) {
 	s.commitStaged(now)
 	for i, p := range s.partitions {
@@ -187,6 +202,8 @@ func (s *System) Tick(now uint64) {
 // core-index order and folds the per-core pop counts into inflight. The
 // force-push may exceed the queue bound transiently (see the type comment);
 // entries keep the same ready cycle a direct send would have had.
+//
+//gpulint:phaseb folds every core's slot; serial by contract
 func (s *System) commitStaged(now uint64) {
 	for c := range s.slots {
 		sl := &s.slots[c]

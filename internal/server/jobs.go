@@ -68,16 +68,26 @@ type Job struct {
 
 	timeout time.Duration
 
-	mu       sync.Mutex
-	state    State
-	outcome  *sim.Outcome
-	err      error
-	created  time.Time
-	started  time.Time
+	mu sync.Mutex
+	//gpulint:guardedby mu
+	state State
+	//gpulint:guardedby mu
+	outcome *sim.Outcome
+	//gpulint:guardedby mu
+	err error
+	//gpulint:guardedby mu
+	created time.Time
+	//gpulint:guardedby mu
+	started time.Time
+	//gpulint:guardedby mu
 	finished time.Time
-	cancel   context.CancelFunc
-	events   []Event
-	changed  chan struct{} // closed and replaced on every publish
+	//gpulint:guardedby mu
+	cancel context.CancelFunc
+	//gpulint:guardedby mu
+	events []Event
+	// changed is closed and replaced on every publish.
+	//gpulint:guardedby mu
+	changed chan struct{}
 }
 
 // publishLocked appends a lifecycle event and wakes every waiter.
@@ -235,12 +245,17 @@ type Manager struct {
 
 	stopReaper chan struct{}
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	nextID  uint64
-	closed  bool
+	mu sync.Mutex
+	//gpulint:guardedby mu
+	jobs map[string]*Job
+	//gpulint:guardedby mu
+	nextID uint64
+	//gpulint:guardedby mu
+	closed bool
+	//gpulint:guardedby mu
 	running int
-	counts  struct {
+	//gpulint:guardedby mu
+	counts struct {
 		submitted, rejected, done, failed, canceled uint64
 	}
 }
@@ -438,14 +453,16 @@ func (m *Manager) reap(now time.Time) int {
 // runners to observe that before returning ctx.Err().
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	alreadyClosed := m.closed
+	m.closed = true
+	if !alreadyClosed {
+		close(m.queue)
+		close(m.stopReaper)
+	}
+	m.mu.Unlock()
+	if alreadyClosed {
 		return nil
 	}
-	m.closed = true
-	close(m.queue)
-	close(m.stopReaper)
-	m.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {

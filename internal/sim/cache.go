@@ -41,6 +41,8 @@ func CacheAddr(key string) string {
 // or a key mismatch — a stale entry, or a peer serving a hash collision or
 // garbage — is reported as a miss, never an error: cache layers are
 // best-effort by contract.
+//
+//gpulint:cachekey CacheEntry
 func DecodeCacheEntry(data []byte, key string) (Outcome, bool) {
 	var e CacheEntry
 	if json.Unmarshal(data, &e) != nil || e.Version != cacheVersion || e.Key != key {
@@ -51,6 +53,8 @@ func DecodeCacheEntry(data []byte, key string) (Outcome, bool) {
 
 // EncodeCacheEntry renders the canonical entry payload for a key/outcome
 // pair (the exact bytes store would write).
+//
+//gpulint:cachekey CacheEntry
 func EncodeCacheEntry(key string, out Outcome) ([]byte, error) {
 	return json.Marshal(CacheEntry{Version: cacheVersion, Key: key, Outcome: out})
 }

@@ -92,11 +92,14 @@ type Service struct {
 	sem   chan struct{}
 	cache *diskCache
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//gpulint:guardedby mu
 	flights map[string]*flight
 	// done holds completed flight keys in completion order; it is the
 	// eviction queue consulted when MaxFlights caps the memo.
-	done  []string
+	//gpulint:guardedby mu
+	done []string
+	//gpulint:guardedby mu
 	stats Stats
 
 	// progressMu serializes Options.Progress writes: simulations complete
@@ -148,9 +151,15 @@ func (s *Service) CacheEntryBytes(addr string) ([]byte, bool) {
 func (s *Service) Run(ctx context.Context, req Request) (Outcome, error) {
 	key := req.Key()
 	s.mu.Lock()
-	if f, ok := s.flights[key]; ok {
+	f, hit := s.flights[key]
+	if hit {
 		s.stats.MemoHits++
-		s.mu.Unlock()
+	} else {
+		f = &flight{ready: make(chan struct{})}
+		s.flights[key] = f
+	}
+	s.mu.Unlock()
+	if hit {
 		select {
 		case <-f.ready:
 			return f.out, f.err
@@ -158,9 +167,6 @@ func (s *Service) Run(ctx context.Context, req Request) (Outcome, error) {
 			return Outcome{}, ctx.Err()
 		}
 	}
-	f := &flight{ready: make(chan struct{})}
-	s.flights[key] = f
-	s.mu.Unlock()
 
 	f.out, f.err = s.simulate(ctx, req, key)
 	s.mu.Lock()

@@ -53,6 +53,14 @@ type SM struct {
 
 	// Stats accumulates the core counters; KernelIssued buckets issued
 	// instructions by kernel index (sized by the GPU at construction).
+	// The listed counters advance once per skipped-or-ticked cycle and are
+	// replayed lazily through FastForward when the core is parked, so a
+	// serial-phase reader must sync the core to the current cycle first
+	// (gpulint wakesync polices this). The issue/retirement counters
+	// (InstrIssued, ThreadInstr, CTAsCompleted, ...) are exact at all
+	// times: a parked core provably cannot issue or retire.
+	//
+	//gpulint:lazy ActiveCycles,IssueStallCycles,StallScoreboard,StallLDSTFull,StallBarrier,StallDrain accrued by FastForward granule replay; stale while parked
 	Stats         stats.Core
 	KernelIssued  []uint64
 	memLatencySum uint64
@@ -103,6 +111,8 @@ func (s *SM) SetWakeHandler(fn func(coreID int, at uint64)) { s.onWake = fn }
 // issued, popped a response, or mutated state (FastForward panics if that
 // certificate is wrong). Safe to call redundantly: a window the core has
 // already processed is empty.
+//
+//gpulint:synced SyncTo is the accrual funnel itself: it advances the watermark rather than reading behind it
 func (s *SM) SyncTo(t uint64) {
 	if t > s.syncedTo {
 		s.FastForward(s.syncedTo, t)
@@ -245,6 +255,13 @@ func (s *SM) leastLoadedScheduler() *scheduler {
 // accrual (SetWakeHandler armed) a core waking from a parked window first
 // replays the skipped cycles' counters, so its Stats are current the moment
 // it runs again.
+//
+// Tick is a phase-A root: it may run on a worker goroutine concurrently
+// with other cores' ticks, so everything reachable from it must confine
+// itself to core-private state and the declared staging sinks (gpulint
+// phasepurity polices the reachable set).
+//
+//gpulint:phasea
 func (s *SM) Tick(now uint64) {
 	if s.onWake != nil && now > s.syncedTo {
 		s.FastForward(s.syncedTo, now)
