@@ -45,11 +45,20 @@ ci: lint
 # otherwise identical invocations (the stencil number was recorded at ~300k
 # simcycles/s in one run and 249k in the committed BENCH_3.json for exactly
 # this reason). BENCH_OUT is overridable so a new baseline generation never
-# silently overwrites (or keeps re-targeting) an old one.
-BENCH_OUT ?= results/BENCH_8.json
+# silently overwrites (or keeps re-targeting) an old one. Each go test
+# invocation also drops CPU and heap profiles into BENCH_PROF (uploaded as
+# CI artifacts), so a regression flagged by the JSON diff comes with the
+# profile that explains it.
+BENCH_OUT ?= results/BENCH_10.json
+BENCH_PROF ?= results/prof
 bench:
-	go test -run='^$$' -bench 'Fig5|Fig8|Fig14' -benchtime=1x -benchmem . | tee /tmp/gpusched_bench.out
-	go test -run='^$$' -bench 'SimulatorThroughput|ParallelTick' -benchtime=20x -benchmem . | tee -a /tmp/gpusched_bench.out
+	mkdir -p $(BENCH_PROF)
+	go test -run='^$$' -bench 'Fig5|Fig8|Fig14' -benchtime=1x -benchmem \
+		-cpuprofile $(BENCH_PROF)/figs.cpu.pprof -memprofile $(BENCH_PROF)/figs.mem.pprof \
+		-o $(BENCH_PROF)/bench.test . | tee /tmp/gpusched_bench.out
+	go test -run='^$$' -bench 'SimulatorThroughput|ParallelTick' -benchtime=20x -benchmem \
+		-cpuprofile $(BENCH_PROF)/micro.cpu.pprof -memprofile $(BENCH_PROF)/micro.mem.pprof \
+		-o $(BENCH_PROF)/bench.test . | tee -a /tmp/gpusched_bench.out
 	go run ./cmd/benchjson -out $(BENCH_OUT) < /tmp/gpusched_bench.out
 
 # One benchmark per reproduced table/figure plus microbenchmarks.

@@ -30,6 +30,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sizeStr  = fs.String("size", "small", "problem size: tiny | small | full")
 		cores    = fs.Int("cores", 15, "SM count")
 		workers  = fs.Int("workers", 0, "OS threads ticking the SMs each cycle (0 = GOMAXPROCS, 1 = serial; never changes results)")
+		shards   = fs.Int("mem-shards", 0, "memory partition shards ticked in parallel per cycle (0 = derive from -workers, 1 = serial; never changes results)")
+		window   = fs.Uint64("batch-window", 0, "max cycles batched through one barrier when every SM provably sleeps (0 = built-in default, 1 = off; never changes results)")
 		list     = fs.Bool("list", false, "list workloads and exit")
 		traceOut = fs.String("trace", "", "write a per-epoch timeline CSV to this file")
 		epoch    = fs.Uint64("epoch", 1024, "trace sampling period in cycles")
@@ -63,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := gpusched.DefaultConfig()
 	cfg.Cores = *cores
 	cfg.Workers = *workers
+	cfg.MemShards = *shards
+	cfg.BatchWindow = *window
 	cfg.WarpPolicy, err = gpusched.ParseWarpPolicy(*warpStr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -128,6 +128,14 @@ type Config struct {
 	// cycles ahead (0 = the built-in default). Execution knob only, like
 	// Workers: results are byte-identical for every granule.
 	Granule uint64
+	// MemShards is how many shards the memory system's partitions tick in
+	// (0 = derive from Workers, 1 = the serial memory tick). Execution knob
+	// only, like Workers: results are byte-identical for every shard count.
+	MemShards int
+	// BatchWindow caps the quiet-window cycle batch in cycles (0 = the
+	// built-in default, 1 = batching off). Execution knob only, like
+	// Workers: results are byte-identical for every window.
+	BatchWindow uint64
 
 	// Advanced knobs. Nil fields keep Fermi-class defaults.
 	SM  *SMConfig
@@ -171,6 +179,8 @@ func (c Config) build() gpu.Config {
 	}
 	g.Workers = c.Workers
 	g.Granule = c.Granule
+	g.MemShards = c.MemShards
+	g.BatchWindow = c.BatchWindow
 	return g
 }
 

@@ -48,6 +48,24 @@ type Config struct {
 	// results are byte-identical for every granule (the golden determinism
 	// tests sweep it) and it never enters a cache key.
 	Granule uint64
+	// MemShards is how many contiguous partition ranges the memory system's
+	// phase-A2 tick is split into (mem.System.SetShards). 0 derives it from
+	// the worker count (clamped to the partition count); 1 is the serial
+	// reference path; values beyond the partition count leave the extra
+	// shards empty. Execution-only: the staged merge makes results
+	// byte-identical for every value (the golden determinism tests sweep
+	// it), so it never enters a cache key.
+	MemShards int
+	// BatchWindow caps the quiet-window cycle batch, in cycles: when no SM
+	// can run or receive a response for the next k cycles, the loop runs k
+	// memory-system ticks inside one barrier crossing instead of k. The
+	// effective window is additionally bounded by the crossbar latency (a
+	// response delivered inside the window cannot become poppable before the
+	// window ends, so no SM interaction is ever skipped). 0 means
+	// DefaultBatchWindow; 1 disables batching. Execution-only: results are
+	// byte-identical for every value (the golden determinism tests sweep it),
+	// so it never enters a cache key.
+	BatchWindow uint64
 }
 
 // ResolveWorkers maps a Config.Workers value to the machine-derived worker
@@ -91,6 +109,49 @@ func (c *Config) resolveGranule() uint64 {
 		return DefaultGranule
 	}
 	return c.Granule
+}
+
+// DefaultBatchWindow is the quiet-window batch cap applied when
+// Config.BatchWindow is zero. It only bounds the merge buffers: the
+// effective window is almost always the crossbar latency (the SM↔memsys
+// interaction bound), which is far below it.
+const DefaultBatchWindow uint64 = 64
+
+// resolveBatchWindow maps Config.BatchWindow to the effective batch cap:
+// the configured (or default) cap, never more than the crossbar latency —
+// a response delivered at cycle c becomes poppable at c+XbarLatency, so a
+// window bounded by the latency provably contains no SM-visible event.
+func (c *Config) resolveBatchWindow() uint64 {
+	w := c.BatchWindow
+	if w == 0 {
+		w = DefaultBatchWindow
+	}
+	lat := c.Mem.XbarLatency
+	if lat < 1 {
+		lat = 1
+	}
+	if w > lat {
+		w = lat
+	}
+	return w
+}
+
+// resolveMemShards maps Config.MemShards to the effective phase-A2 shard
+// count: derived from the worker count (never more than one shard per
+// partition) when unset, the configured value otherwise — mem.System
+// tolerates counts beyond the partition count by leaving shards empty.
+func (c *Config) resolveMemShards(workers int) int {
+	n := c.MemShards
+	if n <= 0 {
+		n = workers
+		if n > c.Mem.Partitions {
+			n = c.Mem.Partitions
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // DefaultConfig returns the Fermi-class (GTX480 ballpark) GPU used by the
@@ -201,6 +262,11 @@ type GPU struct {
 	// phase A has run, a sleeping core provably accounts for the current
 	// cycle too, and cannot tick again before the next one.
 	postTick bool
+	// winFrom/winTo are the current batched quiet window's bounds, written
+	// serially before the window's phase-A2 pool release so the reusable
+	// shard closure (no per-window allocation) can read them — the same
+	// ordering contract g.now relies on.
+	winFrom, winTo uint64
 }
 
 // New builds a GPU running specs (in launch order) under dispatcher d.
@@ -415,6 +481,10 @@ func (g *GPU) commitRetirements() {
 				g.observer(c, cta, g.now)
 			}
 			g.dispatcher.OnCTAComplete(g, c, cta)
+			// Every shared-state consumer of this retirement has now run, so
+			// the context can go back to its core's pool. A placement made by
+			// a later callback this same cycle may already reuse it.
+			g.cores[c].Recycle(cta)
 			list[i] = nil
 		}
 		if len(g.pendingRetire[c]) != 0 {
@@ -450,6 +520,9 @@ func (g *GPU) commitPreemptions() {
 			if po != nil {
 				po.OnCTAEvicted(g, c, cta)
 			}
+			// Eviction guarantees memRefs == 0, so the context pools
+			// immediately; the re-dispatch builds a fresh CTA from the id.
+			g.cores[c].Recycle(cta)
 			list[i] = nil
 		}
 		if len(g.pendingPreempt[c]) != 0 {
@@ -482,6 +555,13 @@ const parallelMinRunnable = 6
 // on GPU), for the same reason maxFFBackoff bounds the global one: when a
 // busy phase ends, the SM must start parking again within a few dozen cycles.
 const maxProbeBackoff = 64
+
+// minParallelParts is the smallest live-partition population worth a
+// phase-A2 barrier crossing: below it the memory system ticks serially on
+// the caller's goroutine (same shard split, same per-partition order, so
+// results are unchanged). A tail phase with one busy DRAM channel must not
+// pay a pool release/join per cycle.
+const minParallelParts = 4
 
 // RunContext is Run with cooperative cancellation: when ctx is canceled
 // the cycle loop stops mid-flight and the context's error is returned
@@ -578,6 +658,23 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 		pool = parexec.New(workers)
 		defer pool.Close()
 	}
+	memShards := g.cfg.resolveMemShards(workers)
+	g.memsys.SetShards(memShards)
+	batchCap := g.cfg.resolveBatchWindow()
+	// memShardFn runs phase A2 on a pool worker: pool shard w ticks memory
+	// shards w, w+workers, ... — a pure function of (w, workers, memShards),
+	// so the partition→worker mapping never depends on scheduling.
+	memShardFn := func(shard int) {
+		for ms := shard; ms < memShards; ms += workers {
+			g.memsys.TickShard(ms, g.now)
+		}
+	}
+	// memWindowFn is memShardFn for a batched quiet window [winFrom, winTo).
+	memWindowFn := func(shard int) {
+		for ms := shard; ms < memShards; ms += workers {
+			g.memsys.TickShardWindow(ms, g.winFrom, g.winTo)
+		}
+	}
 	done := ctx.Done()
 	for g.doneCount < len(g.kernels) && g.now < maxCycles {
 		if done != nil && g.now%ctxCheckInterval == 0 {
@@ -606,6 +703,35 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 			g.syncAllTo(g.now)
 		}
 		g.dispatcher.Tick(g)
+		if sleepOK && batchCap > 1 && as.Runnable(g.now) == 0 &&
+			g.memsys.NextEvent(g.now) <= g.now && g.memsys.StagedEmpty() {
+			// Quiet window: every SM is parked past this cycle, nothing is
+			// staged, and the memory system has work — phase A and the
+			// commits are provably no-ops for every cycle before the window
+			// end, so run the whole window's memory ticks inside one barrier
+			// crossing and merge once.
+			if end := g.batchWindowEnd(ff, done != nil, maxCycles, batchCap); end > g.now+1 {
+				g.winFrom, g.winTo = g.now, end
+				if pool != nil && g.memsys.LiveParts() >= minParallelParts {
+					pool.Run(memWindowFn)
+				} else {
+					for ms := 0; ms < memShards; ms++ {
+						g.memsys.TickShardWindow(ms, g.winFrom, g.winTo)
+					}
+				}
+				// Merge with the clock parked on the window's last cycle and
+				// postTick set, so the response hooks' wake/sync semantics
+				// are exactly what per-cycle execution would have produced:
+				// every core provably slept through the window, so wakeCore
+				// settles it to the window end and wakes it no earlier.
+				g.now = end - 1
+				g.postTick = true
+				g.memsys.TickMerge(g.now)
+				g.now = end
+				g.postTick = false
+				continue
+			}
+		}
 		if pool != nil && as.Runnable(g.now) >= parallelMinRunnable {
 			pool.Run(tickShard)
 		} else {
@@ -625,7 +751,16 @@ func (g *GPU) RunContext(ctx context.Context) (Result, error) {
 		}
 		g.commitRetirements()
 		g.commitPreemptions()
-		g.memsys.Tick(g.now)
+		if pool != nil && g.memsys.LiveParts() >= minParallelParts {
+			// Phase A2: the partitions tick concurrently on the same pool,
+			// each confined to partition-owned state, then the staging cells
+			// fold serially. Identical statements to the serial path in an
+			// identical per-partition order, so results cannot differ.
+			pool.Run(memShardFn)
+			g.memsys.TickMerge(g.now)
+		} else {
+			g.memsys.Tick(g.now)
+		}
 		idle := ff != nil && !g.ctaEvent &&
 			g.dispatchedCTAs() == dispatched && g.issuedTotal() == issued
 		g.now++
@@ -747,6 +882,52 @@ func (g *GPU) fastForward(ff core.FastForwarder, clampCtx bool, maxCycles uint64
 	})
 	g.now = horizon
 	return horizon - from
+}
+
+// batchWindowEnd bounds a quiet window starting at g.now: the largest end
+// such that every cycle in [g.now, end) provably needs only a memory-system
+// tick. The caller has established that no SM is runnable at g.now and that
+// this cycle's dispatcher tick already ran; the clamps guarantee the rest:
+//
+//   - cap (≤ crossbar latency): a response delivered at cycle c inside the
+//     window becomes poppable at c+XbarLatency ≥ end, and its wake hook
+//     lands ≥ end, so no SM needs to tick before the window ends;
+//   - NextDispatchEvent(g.now+1): the dispatcher provably does nothing at
+//     the skipped cycles (the same contract fastForward uses);
+//   - the next kernel arrival, the activity set's earliest wake, MaxCycles,
+//     and the epoch/context boundaries, all of which must execute at the
+//     top of the loop.
+//
+// Any end ≤ g.now+1 means "no window": a one-cycle batch is the normal path.
+func (g *GPU) batchWindowEnd(ff core.FastForwarder, clampCtx bool, maxCycles, cap uint64) uint64 {
+	from := g.now
+	end := from + cap
+	if nd := ff.NextDispatchEvent(from + 1); nd < end {
+		end = nd
+	}
+	if g.arrived < len(g.kernels) {
+		if a := g.kernels[g.arrived].Spec.Arrival; a < end {
+			end = a
+		}
+	}
+	if hv := g.activity.Horizon(); hv < end {
+		end = hv
+	}
+	if end > maxCycles {
+		end = maxCycles
+	}
+	if end <= from+1 {
+		return from
+	}
+	// Boundary cycles run hooks/polls at the top of the loop; from itself
+	// already ran them, so only (from, end) must stay boundary-free.
+	if g.epochFn != nil {
+		end = clampToBoundary(end, from+1, g.epochEvery)
+	}
+	if clampCtx {
+		end = clampToBoundary(end, from+1, ctxCheckInterval)
+	}
+	return end
 }
 
 // clampToBoundary caps horizon so that no multiple of every lies in

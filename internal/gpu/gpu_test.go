@@ -351,6 +351,66 @@ func TestGranuleInvariance(t *testing.T) {
 	}
 }
 
+// TestMemShardInvariance is the package-level statement of the phase-A2
+// contract: the committed Result is a pure function of the request, whatever
+// Config.MemShards and Config.BatchWindow say. The sweep crosses shard
+// counts (including more shards than partitions, which leaves the trailing
+// shards empty) with batch windows (1 = batching off, 0 = the default) and
+// worker counts, against a serial-memory unbatched baseline. Stencil is used
+// deliberately: it is the memory-bound workload whose serial memory tick
+// motivated the shard split, so partition-order bugs diverge here first.
+func TestMemShardInvariance(t *testing.T) {
+	w, _ := workloads.ByName("stencil")
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.MemShards = 1
+	cfg.BatchWindow = 1
+	base := mustRun(t, cfg, core.NewLCS(), w.Build(workloads.ScaleTest))
+	for _, c := range []struct {
+		workers, shards int
+		window          uint64
+	}{
+		{1, 2, 1},  // sharded staging under the serial loop, no batching
+		{2, 6, 0},  // one shard per partition, default window
+		{3, 9, 2},  // more shards than partitions: trailing shards are empty
+		{7, 0, 64}, // derived shard count, window beyond the crossbar clamp
+		{2, 1, 0},  // serial memory tick inside a parallel pool, batching on
+	} {
+		cfg := testConfig()
+		cfg.Workers = c.workers
+		cfg.MemShards = c.shards
+		cfg.BatchWindow = c.window
+		r := mustRun(t, cfg, core.NewLCS(), w.Build(workloads.ScaleTest))
+		if !reflect.DeepEqual(r, base) {
+			t.Errorf("Workers=%d MemShards=%d BatchWindow=%d diverged from serial unbatched baseline:\n%+v\nvs\n%+v",
+				c.workers, c.shards, c.window, r, base)
+		}
+	}
+}
+
+// TestMemShardInvarianceNoFastForward pins the shard axis on the reference
+// loop. Quiet-window batching needs the fast-forward machinery's sleep
+// proofs, so it is structurally off here — what remains under test is the
+// per-cycle ingress/egress staging and the shard merge, which must be inert
+// however the partitions are cut.
+func TestMemShardInvarianceNoFastForward(t *testing.T) {
+	w, _ := workloads.ByName("stencil")
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.MemShards = 1
+	cfg.DisableFastForward = true
+	base := mustRun(t, cfg, core.NewRoundRobin(), w.Build(workloads.ScaleTest))
+	for _, shards := range []int{2, 6, 9} {
+		cfg := testConfig()
+		cfg.Workers = 4
+		cfg.MemShards = shards
+		cfg.DisableFastForward = true
+		if r := mustRun(t, cfg, core.NewRoundRobin(), w.Build(workloads.ScaleTest)); !reflect.DeepEqual(r, base) {
+			t.Errorf("MemShards=%d (no FF) diverged from serial baseline:\n%+v\nvs\n%+v", shards, r, base)
+		}
+	}
+}
+
 // TestWorkerCountInvarianceNoFastForward pins the same contract on the
 // reference loop, so a fast-forward interaction cannot mask a phase-A
 // ordering bug (or vice versa). Granule plumbing must be inert here: without

@@ -75,6 +75,39 @@ func TestGoldenTickWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenMemShardDeterminism is the gate on the phase-A2 sharded memory
+// tick and quiet-window cycle batching: one experiment, rendered with the
+// fully serial unbatched configuration (TickWorkers=1, MemShards=1,
+// BatchWindow=1), must be byte-identical under every shard/window cut. The
+// combos cross shard counts (2, one per partition, and more shards than
+// partitions — trailing shards own nothing), batch windows (off, default,
+// explicit beyond the crossbar clamp), and the fast-forward toggle (batching
+// is structurally off without fast-forward sleep proofs). One experiment,
+// not all: the full cross is covered cheaply in internal/gpu, and this
+// package's race-mode budget is already dominated by the worker sweep.
+func TestGoldenMemShardDeterminism(t *testing.T) {
+	e, ok := ByID("fig5")
+	if !ok {
+		t.Fatal("fig5 experiment missing")
+	}
+	serial := renderExperiment(t, e, Options{
+		Scale: workloads.ScaleTest, TickWorkers: 1, MemShards: 1, BatchWindow: 1,
+	})
+	for _, c := range []Options{
+		{TickWorkers: 2, MemShards: 2, BatchWindow: 1},
+		{TickWorkers: 7, MemShards: 6},
+		{TickWorkers: 2, MemShards: 8, BatchWindow: 64},
+		{TickWorkers: 7, MemShards: 6, NoFastForward: true},
+	} {
+		c.Scale = workloads.ScaleTest
+		got := renderExperiment(t, e, c)
+		if !bytes.Equal(serial, got) {
+			t.Errorf("mem shards=%d window=%d workers=%d noff=%t changed fig5:\n--- serial ---\n%s--- variant ---\n%s",
+				c.MemShards, c.BatchWindow, c.TickWorkers, c.NoFastForward, serial, got)
+		}
+	}
+}
+
 // TestGoldenDeterminismAcrossGOMAXPROCS pins down that worker parallelism
 // never leaks into results: one experiment run on a single-threaded
 // scheduler must match the default parallel run bit for bit.

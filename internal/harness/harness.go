@@ -46,6 +46,15 @@ type Options struct {
 	// (0 = gpu.DefaultGranule). Execution only, like TickWorkers: the golden
 	// determinism tests sweep granules and require identical tables.
 	TickGranule uint64
+	// MemShards is the memory system's phase-A2 shard count (0 = derived
+	// from TickWorkers, 1 = serial memory tick). Execution only, like
+	// TickWorkers: the golden determinism tests sweep shard counts and
+	// require identical tables.
+	MemShards int
+	// BatchWindow caps the quiet-window cycle batch (0 = the default, 1 =
+	// batching off). Execution only, like TickWorkers: the golden
+	// determinism tests sweep windows and require identical tables.
+	BatchWindow uint64
 }
 
 // Table is one rendered experiment.
@@ -129,6 +138,8 @@ func New(opt Options) *Harness {
 			CacheDir:    opt.CacheDir,
 			TickWorkers: opt.TickWorkers,
 			TickGranule: opt.TickGranule,
+			MemShards:   opt.MemShards,
+			BatchWindow: opt.BatchWindow,
 		}),
 	}
 }

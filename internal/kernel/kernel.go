@@ -79,6 +79,12 @@ type Spec struct {
 	Arrival uint64
 	// Program builds per-warp instruction streams.
 	Program ProgramFactory
+	// RecycleProgram, when non-nil, takes back a program handed out by
+	// Program after its warp's CTA has left the machine for good, so the
+	// factory can pool the iterator object. The core calls it at most once
+	// per handed-out program and never touches the program again. Optional:
+	// factories whose programs are not poolable leave it nil.
+	RecycleProgram func(p isa.Program)
 }
 
 // Validate checks the spec for internal consistency.

@@ -90,6 +90,44 @@ func serialOnly(m *Memory) {
 	m.Commit()
 }
 
+// PartSystem models the sharded phase-A2 memory tick: partitions are cut
+// into worker-owned ranges, per-partition mutation goes through a declared
+// staging sink, and the cross-partition merge accumulator may only move in
+// the serial merge.
+//
+//gpulint:shared every shard worker holds the system pointer
+type PartSystem struct {
+	cells  []int
+	merged int
+}
+
+// tickPart is partition i's staging sink, like System.tickPartition.
+//
+//gpulint:staged writes only partition i's cell
+func (s *PartSystem) tickPart(i int) { s.cells[i]++ }
+
+// TickMerge folds the staged cells; phase B only.
+//
+//gpulint:phaseb folds the per-partition cells after the barrier
+func (s *PartSystem) TickMerge() {
+	for _, v := range s.cells {
+		s.merged += v
+	}
+}
+
+// TickShard is the phase-A2 root. Per-partition work flows through the
+// staging sink; the bare merge-accumulator write is a mis-staged partition
+// commit — serial-merge work leaking into the concurrent shard tick — and
+// must be caught.
+//
+//gpulint:phasea one worker per disjoint partition range
+func (s *PartSystem) TickShard(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.tickPart(i)
+		s.merged++ // want "phasepurity.PartSystem.TickShard writes s.merged \\(shared PartSystem\\) on the phase-A path"
+	}
+}
+
 //gpulint:phasea // want "//gpulint:phasea is not attached to a function declaration or literal"
 var notAFunc = 1
 

@@ -12,17 +12,19 @@ import (
 // read-only (write-through no-allocate), L2 marks lines dirty and collects
 // write-backs on eviction.
 type Cache struct {
-	sets      []cacheSet
+	// lines is the whole tag store, set-major: set i occupies
+	// lines[i*ways : (i+1)*ways]. One flat backing array instead of a slice
+	// per set — a simulation builds one cache per core plus the L2 slices,
+	// and the per-set headers were a measurable share of its setup
+	// allocations.
+	lines     []cacheLine
+	ways      int
 	setMask   uint64
 	lineShift uint
 	useClock  uint64
 	// Stats accumulates hit/miss counters. Accesses through helper methods
 	// on L1/L2 front-ends update it; direct Lookup/Fill calls do not.
 	Stats stats.Cache
-}
-
-type cacheSet struct {
-	lines []cacheLine
 }
 
 type cacheLine struct {
@@ -48,34 +50,32 @@ func NewCache(sizeBytes, lineBytes, ways int) *Cache {
 	for 1<<shift < lineBytes {
 		shift++
 	}
-	c := &Cache{
-		sets:      make([]cacheSet, numSets),
+	return &Cache{
+		lines:     make([]cacheLine, numSets*ways),
+		ways:      ways,
 		setMask:   uint64(numSets - 1),
 		lineShift: shift,
 	}
-	for i := range c.sets {
-		c.sets[i].lines = make([]cacheLine, ways)
-	}
-	return c
 }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.lines) / c.ways }
 
 // Ways returns the associativity.
-func (c *Cache) Ways() int { return len(c.sets[0].lines) }
+func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) index(lineAddr uint64) (set *cacheSet, tag uint64) {
+func (c *Cache) index(lineAddr uint64) (set []cacheLine, tag uint64) {
 	idx := (lineAddr >> c.lineShift) & c.setMask
-	return &c.sets[idx], lineAddr >> c.lineShift
+	base := int(idx) * c.ways
+	return c.lines[base : base+c.ways], lineAddr >> c.lineShift
 }
 
 // Lookup probes for lineAddr. On a hit it refreshes LRU state and, when
 // markDirty is set, marks the line dirty. It does not touch Stats.
 func (c *Cache) Lookup(lineAddr uint64, markDirty bool) bool {
 	set, tag := c.index(lineAddr)
-	for i := range set.lines {
-		ln := &set.lines[i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			c.useClock++
 			ln.lastUse = c.useClock
@@ -91,8 +91,8 @@ func (c *Cache) Lookup(lineAddr uint64, markDirty bool) bool {
 // Contains probes for lineAddr without perturbing LRU or dirty state.
 func (c *Cache) Contains(lineAddr uint64) bool {
 	set, tag := c.index(lineAddr)
-	for i := range set.lines {
-		ln := &set.lines[i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			return true
 		}
@@ -114,8 +114,8 @@ func (c *Cache) Fill(lineAddr uint64, dirty bool) Eviction {
 	set, tag := c.index(lineAddr)
 	c.useClock++
 	victim := -1
-	for i := range set.lines {
-		ln := &set.lines[i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			ln.lastUse = c.useClock
 			if dirty {
@@ -124,17 +124,17 @@ func (c *Cache) Fill(lineAddr uint64, dirty bool) Eviction {
 			return Eviction{}
 		}
 		if !ln.valid {
-			if victim == -1 || set.lines[victim].valid {
+			if victim == -1 || set[victim].valid {
 				victim = i
 			}
 			continue
 		}
-		if victim == -1 || (set.lines[victim].valid && ln.lastUse < set.lines[victim].lastUse) {
+		if victim == -1 || (set[victim].valid && ln.lastUse < set[victim].lastUse) {
 			victim = i
 		}
 	}
 	ev := Eviction{}
-	v := &set.lines[victim]
+	v := &set[victim]
 	if v.valid {
 		ev = Eviction{LineAddr: v.tag << c.lineShift, Dirty: v.dirty, Valid: true}
 	}
@@ -145,8 +145,8 @@ func (c *Cache) Fill(lineAddr uint64, dirty bool) Eviction {
 // Invalidate drops lineAddr if present, returning whether it was dirty.
 func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
 	set, tag := c.index(lineAddr)
-	for i := range set.lines {
-		ln := &set.lines[i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			d := ln.dirty
 			*ln = cacheLine{}
@@ -159,14 +159,12 @@ func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
 // Flush invalidates everything and returns the dirty line addresses.
 func (c *Cache) Flush() []uint64 {
 	var dirty []uint64
-	for s := range c.sets {
-		for i := range c.sets[s].lines {
-			ln := &c.sets[s].lines[i]
-			if ln.valid && ln.dirty {
-				dirty = append(dirty, ln.tag<<c.lineShift)
-			}
-			*ln = cacheLine{}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && ln.dirty {
+			dirty = append(dirty, ln.tag<<c.lineShift)
 		}
+		*ln = cacheLine{}
 	}
 	return dirty
 }

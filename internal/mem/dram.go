@@ -61,6 +61,7 @@ func NewDRAMChannel(cfg *Config, onComplete func(req Request, now uint64)) *DRAM
 	return &DRAMChannel{
 		cfg:         cfg,
 		banks:       make([]dramBank, cfg.DRAMBanks),
+		queue:       make([]dramReq, 0, cfg.DRAMQueueCap),
 		onComplete:  onComplete,
 		lineShift:   cfg.LineShift(),
 		linesPerRow: uint64(cfg.DRAMRowBytes / cfg.LineBytes),

@@ -39,8 +39,12 @@ func NewMSHR(maxEntries, maxMerges int) *MSHR {
 		maxEntries: maxEntries,
 		maxMerges:  maxMerges,
 	}
+	// One slab backs every slot at full merge capacity: Merge's len check
+	// keeps a slot at <= maxMerges tokens, so no append ever reallocates and
+	// the whole file costs one buffer allocation instead of maxEntries.
+	slab := make([]uint32, maxEntries*maxMerges)
 	for i := maxEntries - 1; i >= 0; i-- {
-		m.slots[i] = make([]uint32, 0, 2)
+		m.slots[i] = slab[i*maxMerges : i*maxMerges : (i+1)*maxMerges]
 		m.free = append(m.free, int32(i))
 	}
 	return m

@@ -36,7 +36,7 @@ func (p *pipe[T]) Push(now uint64, v T) bool {
 
 // forcePush enqueues v at cycle now regardless of the capacity bound — the
 // commit path for admission decisions already taken against a snapshot (see
-// System.commitStaged). The pipe may transiently exceed cap; CanPush then
+// System.tickPartition). The pipe may transiently exceed cap; CanPush then
 // reports full until it drains back under the bound.
 func (p *pipe[T]) forcePush(now uint64, v T) {
 	p.entries = append(p.entries, pipeEntry[T]{ready: now + p.latency, val: v})

@@ -28,6 +28,15 @@ type Options struct {
 	// TickWorkers it is an execution knob only — results are byte-identical
 	// for every value — so it is deliberately NOT part of Request.Key.
 	TickGranule uint64
+	// MemShards is the memory system's phase-A2 shard count
+	// (gpu.Config.MemShards): 0 derives it from the tick workers, 1 forces
+	// the serial memory tick. Execution-only, like TickWorkers — never part
+	// of Request.Key.
+	MemShards int
+	// BatchWindow caps the quiet-window cycle batch (gpu.Config.BatchWindow):
+	// 0 derives gpu.DefaultBatchWindow, 1 disables batching. Execution-only,
+	// like TickWorkers — never part of Request.Key.
+	BatchWindow uint64
 	// CacheDir, when non-empty, enables the on-disk result cache
 	// (conventionally results/.simcache).
 	CacheDir string
@@ -276,6 +285,8 @@ func (s *Service) simulate(ctx context.Context, req Request, key string) (Outcom
 	// so it can never leak into cache identity.
 	cfg.Workers = s.opt.TickWorkers
 	cfg.Granule = s.opt.TickGranule
+	cfg.MemShards = s.opt.MemShards
+	cfg.BatchWindow = s.opt.BatchWindow
 	g, err := gpu.New(cfg, d, specs...)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sim: %s: %w", key, err)

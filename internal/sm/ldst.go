@@ -213,7 +213,12 @@ func (u *ldstUnit) tickGlobal(e *ldstEntry, now uint64) {
 
 //gpulint:hotpath
 func (u *ldstUnit) popHead() {
-	u.queue[0].warp.cta.memRefs--
+	cta := u.queue[0].warp.cta
+	cta.memRefs--
+	if cta.recycleArmed && cta.memRefs == 0 {
+		cta.recycleArmed = false
+		u.sm.poolCTA(cta)
+	}
 	if ln := u.queue[0].lines; ln != nil {
 		//gpulint:allow hotalloc linePool append is bounded by the queue cap — it recycles at most LDSTQueueCap buffers, the opposite of a leak
 		u.linePool = append(u.linePool, ln)
@@ -250,7 +255,12 @@ func (u *ldstUnit) completeOne(t uint32, now uint64) {
 		p.warp.readyAt[p.dst] = now
 		p.warp.clearStall()
 	}
-	p.warp.cta.memRefs--
+	cta := p.warp.cta
+	cta.memRefs--
+	if cta.recycleArmed && cta.memRefs == 0 {
+		cta.recycleArmed = false
+		u.sm.poolCTA(cta)
+	}
 	u.sm.memLatencySum += now - p.issued
 	u.sm.memLoadsDone++
 	p.inUse = false

@@ -25,6 +25,12 @@ type SM struct {
 	ctas       []*CTA
 	usage      kernel.Usage
 	warpSeq    uint64
+	// ctaPool recycles retired CTA contexts (the CTA, its warps slice, and
+	// the Warp objects) so steady-state placement allocates nothing. Entries
+	// are pushed by Recycle — or by the LDST unit once a recycle-armed CTA's
+	// trailing memory work drains — and popped by AddCTA. Core-private, like
+	// everything else on the SM.
+	ctaPool []*CTA
 	// residentByKernel counts resident CTAs per kernel index, so the CTA
 	// dispatchers' per-cycle ResidentOf probes stop scanning ctas.
 	residentByKernel []int
@@ -210,7 +216,8 @@ func (s *SM) AddCTA(spec *kernel.Spec, kernelIdx, ctaID int, addrBase uint64, bl
 		s.onWake(s.id, now)
 	}
 	s.usage = s.usage.Add(spec, 1)
-	cta := &CTA{
+	cta, warps := s.takeCTA()
+	*cta = CTA{
 		Spec:         spec,
 		KernelIdx:    kernelIdx,
 		ID:           ctaID,
@@ -220,17 +227,44 @@ func (s *SM) AddCTA(spec *kernel.Spec, kernelIdx, ctaID int, addrBase uint64, bl
 		IndexInBlock: indexInBlock,
 	}
 	nw := spec.WarpsPerCTA()
-	cta.warps = make([]*Warp, nw)
+	if cap(warps) >= nw {
+		warps = warps[:nw]
+	} else {
+		grown := make([]*Warp, nw)
+		copy(grown, warps[:cap(warps)])
+		warps = grown
+	}
+	cta.warps = warps
 	cta.liveWarps = nw
+	// Fill the slots a recycled context doesn't cover from one slab: warm-up
+	// is per-CTA, not per-warp, and the pointers stay live in the pool.
+	missing := 0
 	for i := 0; i < nw; i++ {
-		w := &Warp{
+		if warps[i] == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		slab := make([]Warp, missing)
+		j := 0
+		for i := 0; i < nw; i++ {
+			if warps[i] == nil {
+				warps[i] = &slab[j]
+				j++
+			}
+		}
+	}
+	for i := 0; i < nw; i++ {
+		w := warps[i]
+		// Whole-struct reset: a recycled warp must not leak scoreboard or
+		// stall state (readyAt in particular) into its next life.
+		*w = Warp{
 			seq:       s.warpSeq,
 			cta:       cta,
 			warpInCTA: i,
 			prog:      spec.Program(ctaID, i),
 		}
 		s.warpSeq++
-		cta.warps[i] = w
 		s.leastLoadedScheduler().add(w)
 	}
 	s.ctas = append(s.ctas, cta)
@@ -238,6 +272,52 @@ func (s *SM) AddCTA(spec *kernel.Spec, kernelIdx, ctaID int, addrBase uint64, bl
 		s.residentByKernel[kernelIdx]++
 	}
 	return cta
+}
+
+// takeCTA pops a pooled CTA context (or allocates a fresh one), returning
+// the object and its reusable warp-pointer slice. AddCTA overwrites every
+// field, so the pooled object carries no state forward.
+func (s *SM) takeCTA() (*CTA, []*Warp) {
+	n := len(s.ctaPool)
+	if n == 0 {
+		return new(CTA), nil
+	}
+	cta := s.ctaPool[n-1]
+	s.ctaPool[n-1] = nil
+	s.ctaPool = s.ctaPool[:n-1]
+	return cta, cta.warps
+}
+
+// Recycle returns a retired or evicted CTA's context to the core's pool for
+// reuse by a later AddCTA. The caller — the GPU's serial commit phase, after
+// every completion callback has run — certifies that nothing else still
+// holds the pointer. A CTA whose trailing memory work is still in flight
+// (memRefs > 0: a store queued or filling past the last warp's exit) is
+// armed for deferred pooling instead; the LDST unit hands it over when the
+// last reference drains, which is always a later cycle than the commit, so
+// no shared-state reader can observe the reuse. Warp programs are returned
+// to their factory's pool here, where the warps provably can never fetch
+// again.
+func (s *SM) Recycle(cta *CTA) {
+	if cta.memRefs > 0 {
+		cta.recycleArmed = true
+		return
+	}
+	s.poolCTA(cta)
+}
+
+// poolCTA releases the warps' programs and pushes the context. Split from
+// Recycle so the LDST unit's deferred handoff shares the release path.
+func (s *SM) poolCTA(cta *CTA) {
+	if rec := cta.Spec.RecycleProgram; rec != nil {
+		for _, w := range cta.warps {
+			if w.prog != nil {
+				rec(w.prog)
+				w.prog = nil
+			}
+		}
+	}
+	s.ctaPool = append(s.ctaPool, cta)
 }
 
 func (s *SM) leastLoadedScheduler() *scheduler {

@@ -142,6 +142,10 @@ type CTA struct {
 	// evicted only at memRefs == 0 — no later response can then touch a
 	// warp that is gone.
 	memRefs int
+	// recycleArmed marks a CTA whose retirement was committed while memory
+	// work was still in flight (a trailing store): the LDST unit pools the
+	// context when the last reference drains. See SM.Recycle.
+	recycleArmed bool
 }
 
 // State returns the CTA's preemption lifecycle state.

@@ -76,16 +76,48 @@ func (p *loopProgram) instrPerWarp() int {
 
 // ---- Emit constructors ----
 
+// fixedEmitKey identifies an Emit closure that captures only plain values —
+// no per-warp address functions — so structurally identical calls can share
+// one closure. Template builds call the fixed-shape constructors (alu, lds,
+// sts) thousands of times per simulation across the per-(cta,warp) template
+// cache misses, but the distinct key population is tiny: memoizing turns the
+// dominant share of template-build allocations into map hits.
+type fixedEmitKey struct {
+	op       isa.Op
+	dst, src isa.Reg
+	s        [3]isa.Reg
+	conflict uint8
+}
+
+var (
+	fixedEmitMu   sync.Mutex
+	fixedEmitMemo = map[fixedEmitKey]Emit{}
+)
+
+// memoFixedEmit returns the canonical closure for key, building it once.
+func memoFixedEmit(key fixedEmitKey, build func() Emit) Emit {
+	fixedEmitMu.Lock()
+	e, ok := fixedEmitMemo[key]
+	if !ok {
+		e = build()
+		fixedEmitMemo[key] = e
+	}
+	fixedEmitMu.Unlock()
+	return e
+}
+
 // alu emits an arithmetic op dst <- f(srcs), all lanes active.
 func alu(op isa.Op, dst isa.Reg, srcs ...isa.Reg) Emit {
 	var s [3]isa.Reg
 	copy(s[:], srcs)
-	return func(buf *isa.WarpInstr, _ int) {
-		buf.Op = op
-		buf.Dst = dst
-		buf.Src = s
-		buf.Mask = isa.FullMask
-	}
+	return memoFixedEmit(fixedEmitKey{op: op, dst: dst, s: s}, func() Emit {
+		return func(buf *isa.WarpInstr, _ int) {
+			buf.Op = op
+			buf.Dst = dst
+			buf.Src = s
+			buf.Mask = isa.FullMask
+		}
+	})
 }
 
 // aluMasked emits an arithmetic op whose active mask depends on iter
@@ -147,22 +179,26 @@ func stg(src isa.Reg, base func(iter int) uint32) Emit {
 
 // lds emits a scratchpad load with the given bank-conflict degree.
 func lds(dst isa.Reg, conflict uint8) Emit {
-	return func(buf *isa.WarpInstr, _ int) {
-		buf.Op = isa.OpLoadShared
-		buf.Dst = dst
-		buf.Mask = isa.FullMask
-		buf.BankConflict = conflict
-	}
+	return memoFixedEmit(fixedEmitKey{op: isa.OpLoadShared, dst: dst, conflict: conflict}, func() Emit {
+		return func(buf *isa.WarpInstr, _ int) {
+			buf.Op = isa.OpLoadShared
+			buf.Dst = dst
+			buf.Mask = isa.FullMask
+			buf.BankConflict = conflict
+		}
+	})
 }
 
 // sts emits a scratchpad store with the given bank-conflict degree.
 func sts(src isa.Reg, conflict uint8) Emit {
-	return func(buf *isa.WarpInstr, _ int) {
-		buf.Op = isa.OpStoreShared
-		buf.Src = [3]isa.Reg{src}
-		buf.Mask = isa.FullMask
-		buf.BankConflict = conflict
-	}
+	return memoFixedEmit(fixedEmitKey{op: isa.OpStoreShared, src: src, conflict: conflict}, func() Emit {
+		return func(buf *isa.WarpInstr, _ int) {
+			buf.Op = isa.OpStoreShared
+			buf.Src = [3]isa.Reg{src}
+			buf.Mask = isa.FullMask
+			buf.BankConflict = conflict
+		}
+	})
 }
 
 // stsMasked emits a masked scratchpad store (reduction trees).
@@ -187,22 +223,26 @@ func atom(dst isa.Reg, addr func(iter, lane int) uint32) Emit {
 	}
 }
 
-// bar emits a CTA barrier.
-func bar() Emit {
-	return func(buf *isa.WarpInstr, _ int) {
+// barEmit and branchEmit are the shared zero-state closures behind bar()
+// and branch(): neither captures anything, so one instance serves every
+// template.
+var (
+	barEmit Emit = func(buf *isa.WarpInstr, _ int) {
 		buf.Op = isa.OpBarrier
 		buf.Mask = isa.FullMask
 	}
-}
-
-// branch emits a control instruction (issue-slot cost of the pre-lowered
-// loop back-edge).
-func branch() Emit {
-	return func(buf *isa.WarpInstr, _ int) {
+	branchEmit Emit = func(buf *isa.WarpInstr, _ int) {
 		buf.Op = isa.OpBranch
 		buf.Mask = isa.FullMask
 	}
-}
+)
+
+// bar emits a CTA barrier.
+func bar() Emit { return barEmit }
+
+// branch emits a control instruction (issue-slot cost of the pre-lowered
+// loop back-edge).
+func branch() Emit { return branchEmit }
 
 // ---- deterministic pseudo-randomness ----
 
@@ -243,7 +283,44 @@ type progKey struct {
 var (
 	progMu   sync.Mutex
 	progMemo = map[progKey]*loopProgram{}
+	// progFree recycles the per-placement iterator copies memoProgram hands
+	// out. The cores return a copy (via kernel.Spec.RecycleProgram) once its
+	// warp's CTA has left the machine; the next placement overwrites it
+	// wholesale from the template, so no state crosses lives and the pop
+	// order cannot influence results — only which address gets reused.
+	progFree []*loopProgram
 )
+
+// takeProgCopy pops a recycled iterator (or allocates one) and resets it
+// from tpl.
+func takeProgCopy(tpl *loopProgram) *loopProgram {
+	progMu.Lock()
+	var cp *loopProgram
+	if n := len(progFree); n > 0 {
+		cp = progFree[n-1]
+		progFree[n-1] = nil
+		progFree = progFree[:n-1]
+	}
+	progMu.Unlock()
+	if cp == nil {
+		cp = new(loopProgram)
+	}
+	*cp = *tpl
+	return cp
+}
+
+// recycleProgram is the kernel.Spec.RecycleProgram hook for registry
+// workloads: template-cached programs go back on the free list; anything
+// else (a factory that bypassed the cache) is left to the garbage collector.
+func recycleProgram(p isa.Program) {
+	lp, ok := p.(*loopProgram)
+	if !ok {
+		return
+	}
+	progMu.Lock()
+	progFree = append(progFree, lp)
+	progMu.Unlock()
+}
 
 // memoProgram wraps a registry workload's per-warp program factory with a
 // process-wide template cache. Building a warp's program allocates a few
@@ -278,7 +355,8 @@ func memoProgram(name string, scale Scale, f func(ctaID, w int) isa.Program) fun
 			progMu.Unlock()
 			tpl = lp
 		}
-		cp := *tpl // fresh iterator state; template slices shared
-		return &cp
+		// Fresh iterator state; template slices shared. The copy itself is
+		// pooled: CTA retirement returns it through recycleProgram.
+		return takeProgCopy(tpl)
 	}
 }

@@ -83,6 +83,7 @@ func register(w Workload) {
 	w.Build = func(s Scale) *kernel.Spec {
 		spec := build(s)
 		spec.Program = memoProgram(w.Name, s, spec.Program)
+		spec.RecycleProgram = recycleProgram
 		return spec
 	}
 	catalog = append(catalog, w)
